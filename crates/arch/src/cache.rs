@@ -1,0 +1,95 @@
+//! Cache geometry descriptions for the POWER9 hierarchy.
+
+/// Which level of the hierarchy a geometry describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheLevel {
+    L1D,
+    L2,
+    L3,
+}
+
+/// Geometry of one set-associative cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    pub level: CacheLevel,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize
+    }
+
+    /// POWER9 L1 data cache: 32 KB, 8-way, 128 B lines (per core).
+    pub fn p9_l1d() -> Self {
+        CacheGeometry {
+            level: CacheLevel::L1D,
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: crate::CACHE_LINE_BYTES,
+        }
+    }
+
+    /// POWER9 L2: 512 KB, 8-way, 128 B lines (per core pair).
+    pub fn p9_l2() -> Self {
+        CacheGeometry {
+            level: CacheLevel::L2,
+            capacity_bytes: 512 * 1024,
+            ways: 8,
+            line_bytes: crate::CACHE_LINE_BYTES,
+        }
+    }
+
+    /// One POWER9 L3 slice: 10 MB, 20-way, 128 B lines (per core pair).
+    pub fn p9_l3_slice() -> Self {
+        CacheGeometry {
+            level: CacheLevel::L3,
+            capacity_bytes: crate::L3_SLICE_BYTES,
+            ways: 20,
+            line_bytes: crate::CACHE_LINE_BYTES,
+        }
+    }
+
+    /// A scaled copy of the geometry (used by tests that want tiny caches
+    /// with the same shape).
+    pub fn scaled(mut self, factor: u64) -> Self {
+        self.capacity_bytes /= factor;
+        if self.capacity_bytes < self.ways as u64 * self.line_bytes {
+            self.capacity_bytes = self.ways as u64 * self.line_bytes;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_arithmetic() {
+        let l1 = CacheGeometry::p9_l1d();
+        assert_eq!(l1.sets(), 32);
+        assert_eq!(l1.lines(), 256);
+        let l3 = CacheGeometry::p9_l3_slice();
+        assert_eq!(l3.lines(), 10 * 1024 * 1024 / 128);
+        assert_eq!(l3.sets() * l3.ways, l3.lines());
+    }
+
+    #[test]
+    fn scaled_keeps_minimum_one_set() {
+        let tiny = CacheGeometry::p9_l1d().scaled(1 << 20);
+        assert_eq!(tiny.sets(), 1);
+        assert_eq!(tiny.lines(), tiny.ways);
+    }
+}

@@ -1,0 +1,71 @@
+//! IBM POWER9 machine topology and cache-geometry descriptions.
+//!
+//! This crate holds the *static* description of the two systems evaluated in
+//! the paper:
+//!
+//! * **Summit** (ORNL): two-socket nodes, 22-core POWER9 CPUs (21 usable by
+//!   applications — one core per socket is set aside for system service
+//!   tasks), 11 core pairs per socket, 10 MB of L3 per core pair (110 MB
+//!   total), NVIDIA V100 GPUs, and a dual-rail Mellanox InfiniBand fabric.
+//! * **Tellico** (UTK testbed): two-socket node with 16-core POWER9 CPUs
+//!   where the study had elevated privileges and could read nest counters
+//!   directly through `perf_uncore` events.
+//!
+//! The geometry constants below drive the `p9-memsim` memory-hierarchy
+//! simulator and the analytic traffic models in `blas-kernels` / `fft3d`.
+
+pub mod cache;
+pub mod machine;
+pub mod topology;
+
+pub use cache::{CacheGeometry, CacheLevel};
+pub use machine::{Machine, MachineKind};
+pub use topology::{CoreId, NodeTopology, SocketId, SocketTopology};
+
+/// Cache-line size of the POWER9 core caches, in bytes.
+pub const CACHE_LINE_BYTES: u64 = 128;
+
+/// Granularity of a single memory read or write transaction, in bytes.
+///
+/// The POWER9 has the "capability to fetch only 64 bytes of data (half cache
+/// lines), instead of the normal full cache-line size of 128 bytes of data
+/// from the memory" (POWER9 Processor User's Manual). The paper's expected
+/// traffic curves divide byte counts by 64 accordingly.
+pub const MEM_TRANSACTION_BYTES: u64 = 64;
+
+/// Number of Memory Bus Agent (MBA) channels per socket whose
+/// `PM_MBA[0-7]_{READ,WRITE}_BYTES` counters the paper measures.
+pub const MBA_CHANNELS: usize = 8;
+
+/// Bytes of L3 cache per core pair on POWER9 (one 10 MB slice).
+pub const L3_SLICE_BYTES: u64 = 10 * 1024 * 1024;
+
+/// Effective L3 capacity per core without contention (half a slice).
+///
+/// "Each core pair is delegated a 10 MB cache slice, therefore each core can
+/// use up to 5 MB of L3 cache without creating contention."
+pub const L3_PER_CORE_BYTES: u64 = 5 * 1024 * 1024;
+
+/// Size of a double-precision floating-point element in bytes.
+pub const F64_BYTES: u64 = 8;
+
+/// Size of a double-precision complex element in bytes.
+pub const C64_BYTES: u64 = 16;
+
+/// Nominal POWER9 core clock used to convert simulated cycles to seconds.
+pub const CLOCK_HZ: f64 = 3.8e9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_is_half_line() {
+        assert_eq!(CACHE_LINE_BYTES, 2 * MEM_TRANSACTION_BYTES);
+    }
+
+    #[test]
+    fn l3_slice_constants_consistent() {
+        assert_eq!(L3_SLICE_BYTES, 2 * L3_PER_CORE_BYTES);
+    }
+}

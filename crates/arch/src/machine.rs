@@ -1,0 +1,205 @@
+//! Whole-machine descriptions of the paper's two systems.
+
+use crate::cache::CacheGeometry;
+use crate::topology::{NodeTopology, SocketTopology};
+
+/// Which of the paper's systems a description models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineKind {
+    /// ORNL Summit: nest counters reachable only via PCP for normal users.
+    Summit,
+    /// UTK Tellico testbed: elevated privileges, direct `perf_uncore` access.
+    Tellico,
+}
+
+impl MachineKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineKind::Summit => "summit",
+            MachineKind::Tellico => "tellico",
+        }
+    }
+}
+
+/// A complete static machine description.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    pub kind: MachineKind,
+    pub node: NodeTopology,
+    pub l1d: CacheGeometry,
+    pub l2: CacheGeometry,
+    pub l3_slice: CacheGeometry,
+    /// Core clock in Hz, used for cycle→time conversion.
+    pub clock_hz: f64,
+    /// Peak per-socket memory bandwidth in bytes/second (used by the timing
+    /// model; 8 DDR4-2666 channels ≈ 170 GB/s on Summit nodes).
+    pub mem_bw_bytes_per_s: f64,
+}
+
+impl Machine {
+    /// Summit compute node: 2 × 22-core POWER9 (21 usable), 3 V100 per
+    /// socket, dual-rail InfiniBand.
+    pub fn summit() -> Self {
+        let socket = SocketTopology {
+            physical_cores: 22,
+            usable_cores: 21,
+            core_pairs: 11,
+            smt: 4,
+        };
+        Machine {
+            kind: MachineKind::Summit,
+            node: NodeTopology {
+                sockets: vec![socket.clone(), socket],
+                gpus_per_socket: 3,
+                ib_ports: 2,
+            },
+            l1d: CacheGeometry::p9_l1d(),
+            l2: CacheGeometry::p9_l2(),
+            l3_slice: CacheGeometry::p9_l3_slice(),
+            clock_hz: crate::CLOCK_HZ,
+            mem_bw_bytes_per_s: 170.0e9,
+        }
+    }
+
+    /// Tellico testbed node: 2 × 16-core POWER9, no GPUs, elevated
+    /// privileges for direct nest access.
+    pub fn tellico() -> Self {
+        let socket = SocketTopology {
+            physical_cores: 16,
+            usable_cores: 16,
+            core_pairs: 8,
+            smt: 4,
+        };
+        Machine {
+            kind: MachineKind::Tellico,
+            node: NodeTopology {
+                sockets: vec![socket.clone(), socket],
+                gpus_per_socket: 0,
+                ib_ports: 0,
+            },
+            l1d: CacheGeometry::p9_l1d(),
+            l2: CacheGeometry::p9_l2(),
+            l3_slice: CacheGeometry::p9_l3_slice(),
+            clock_hz: crate::CLOCK_HZ,
+            mem_bw_bytes_per_s: 140.0e9,
+        }
+    }
+
+    /// A forward-looking POWER10-class configuration — the paper's future
+    /// work ("extend these techniques … to upcoming IBM systems (e.g.
+    /// POWER10)"). 15 usable SMT8 cores per socket, 8 MB of L3 region per
+    /// core, OMI-attached memory with higher bandwidth. The same
+    /// measurement stack runs unchanged on it; see the
+    /// `power10_forward_port` integration test.
+    pub fn power10_like() -> Self {
+        let socket = SocketTopology {
+            physical_cores: 16,
+            usable_cores: 15,
+            core_pairs: 8,
+            smt: 8,
+        };
+        Machine {
+            kind: MachineKind::Tellico,
+            node: NodeTopology {
+                sockets: vec![socket.clone(), socket],
+                gpus_per_socket: 0,
+                ib_ports: 2,
+            },
+            l1d: CacheGeometry::p9_l1d(),
+            l2: CacheGeometry {
+                level: crate::cache::CacheLevel::L2,
+                capacity_bytes: 2 * 1024 * 1024,
+                ways: 8,
+                line_bytes: crate::CACHE_LINE_BYTES,
+            },
+            l3_slice: CacheGeometry {
+                level: crate::cache::CacheLevel::L3,
+                capacity_bytes: 16 * 1024 * 1024,
+                ways: 16,
+                line_bytes: crate::CACHE_LINE_BYTES,
+            },
+            clock_hz: 3.9e9,
+            mem_bw_bytes_per_s: 409.0e9,
+        }
+    }
+
+    /// A shrunken machine for fast unit tests: same shape, caches scaled
+    /// down by `factor`, 4 usable cores.
+    pub fn tiny(factor: u64) -> Self {
+        let socket = SocketTopology {
+            physical_cores: 4,
+            usable_cores: 4,
+            core_pairs: 2,
+            smt: 1,
+        };
+        Machine {
+            kind: MachineKind::Tellico,
+            node: NodeTopology {
+                sockets: vec![socket],
+                gpus_per_socket: 0,
+                ib_ports: 0,
+            },
+            l1d: CacheGeometry::p9_l1d().scaled(factor),
+            l2: CacheGeometry::p9_l2().scaled(factor),
+            l3_slice: CacheGeometry::p9_l3_slice().scaled(factor),
+            clock_hz: crate::CLOCK_HZ,
+            mem_bw_bytes_per_s: 170.0e9,
+        }
+    }
+
+    /// Effective L3 bytes available to a single active core when `active`
+    /// cores are busy on the socket. With one active core, the idle cores'
+    /// slices can be re-appropriated (110 MB on Summit); with all cores
+    /// active each core keeps its 5 MB half-slice.
+    pub fn l3_effective_per_core(&self, socket: usize, active: usize) -> u64 {
+        let st = &self.node.sockets[socket];
+        let total = st.core_pairs as u64 * self.l3_slice.capacity_bytes;
+        let per_core = self.l3_slice.capacity_bytes / 2;
+        if active == 0 {
+            return total;
+        }
+        (total / active as u64).max(per_core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_geometry_matches_paper() {
+        let m = Machine::summit();
+        assert_eq!(m.node.sockets.len(), 2);
+        assert_eq!(m.node.sockets[0].usable_cores, 21);
+        assert_eq!(m.node.sockets[0].core_pairs, 11);
+        // 110 MB total L3 per socket.
+        assert_eq!(
+            m.node.sockets[0].core_pairs as u64 * m.l3_slice.capacity_bytes,
+            110 * 1024 * 1024
+        );
+        // ~5 MB per core without contention (110 MB / 21 ≈ 5.24 MB).
+        let eff = m.l3_effective_per_core(0, 21);
+        assert!((5 * 1024 * 1024..6 * 1024 * 1024).contains(&eff), "{eff}");
+    }
+
+    #[test]
+    fn single_active_core_can_borrow_whole_l3() {
+        let m = Machine::summit();
+        assert_eq!(m.l3_effective_per_core(0, 1), 110 * 1024 * 1024);
+    }
+
+    #[test]
+    fn effective_l3_never_below_half_slice() {
+        let m = Machine::summit();
+        for active in 1..=21 {
+            assert!(m.l3_effective_per_core(0, active) >= 5 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn tellico_has_no_gpus() {
+        let m = Machine::tellico();
+        assert_eq!(m.node.gpus_per_socket, 0);
+        assert_eq!(m.node.sockets[0].usable_cores, 16);
+    }
+}

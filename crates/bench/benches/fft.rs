@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the FFT stack: the mixed-radix 1D transform,
+//! the distributed pencil pipeline, and the re-sorting traces of
+//! Figs. 6-10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fft3d::resort::{LocalDims, ResortTrace, S1cfCombined, S2cf};
+use fft3d::{distributed_fft3d, fft, Complex};
+use p9_arch::Machine;
+use p9_memsim::SimMachine;
+use ranksim::ProcessGrid;
+
+fn bench_fft1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft1d");
+    for n in [1024usize, 1344, 2016] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64)))
+                .collect();
+            b.iter(|| {
+                let mut d = data.clone();
+                fft(&mut d);
+                d
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributed_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3d/distributed");
+    g.sample_size(10);
+    for n in [16usize, 32] {
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let input: Vec<Complex> = (0..n * n * n)
+                .map(|i| Complex::new((i % 13) as f64, 0.0))
+                .collect();
+            b.iter(|| distributed_fft3d(&input, n, ProcessGrid::new(2, 2)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_resort_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resort/trace");
+    g.sample_size(10);
+    let n = 224;
+    g.bench_function("s1cf_combined_n224", |b| {
+        let mut m = SimMachine::quiet(Machine::summit(), 7);
+        let t = S1cfCombined::allocate(&mut m, LocalDims::for_grid(n, 2, 4));
+        b.iter(|| m.run_single(0, |core| t.run(core)));
+    });
+    g.bench_function("s2cf_n224", |b| {
+        let mut m = SimMachine::quiet(Machine::summit(), 8);
+        let t = S2cf::for_grid(&mut m, n, 2, 4);
+        b.iter(|| m.run_single(0, |core| t.run(core)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft1d, bench_distributed_fft, bench_resort_traces);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the BLAS kernels: the numeric reference
+//! implementations and the trace generators that feed Figs. 2-5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use blas_kernels::{gemm_ref, gemv_ref, CappedGemvTrace, GemmTrace};
+use p9_arch::Machine;
+use p9_memsim::SimMachine;
+
+fn bench_numeric_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm/numeric");
+    for n in [64usize, 128] {
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = vec![1.0f64; n * n];
+            let bm = vec![2.0f64; n * n];
+            let mut cm = vec![0.0f64; n * n];
+            b.iter(|| gemm_ref(&a, &bm, &mut cm, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_numeric_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv/numeric");
+    for n in [256usize, 1024] {
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let a = vec![1.0f64; n * n];
+            let x = vec![0.5f64; n];
+            let mut y = vec![0.0f64; n];
+            b.iter(|| gemv_ref(&a, &x, &mut y, n, n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm/trace");
+    g.sample_size(10);
+    for n in [128u64, 256] {
+        g.throughput(Throughput::Elements(n * n * n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut m = SimMachine::quiet(Machine::summit(), 5);
+            let t = GemmTrace::allocate(&mut m, n);
+            b.iter(|| m.run_single(0, |core| t.run(core)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemv_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv/trace");
+    g.sample_size(10);
+    let (m_sz, n_sz) = (8192u64, 1280u64);
+    g.throughput(Throughput::Elements(m_sz * n_sz));
+    g.bench_function("capped_8192x1280", |b| {
+        let mut m = SimMachine::quiet(Machine::summit(), 6);
+        let t = CappedGemvTrace::allocate(&mut m, m_sz, n_sz);
+        b.iter(|| m.run_single(0, |core| t.run(core)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_numeric_gemm,
+    bench_numeric_gemv,
+    bench_gemm_trace,
+    bench_gemv_trace
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the simulator substrate itself: these
+//! bound the cost of regenerating the paper's figures and catch
+//! performance regressions in the hot cache-simulation paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p9_arch::Machine;
+use p9_memsim::SimMachine;
+
+fn bench_streaming_loads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim/load_seq");
+    for kb in [64u64, 1024, 8192] {
+        let bytes = kb * 1024;
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_with_input(BenchmarkId::from_parameter(kb), &bytes, |b, &bytes| {
+            let mut m = SimMachine::quiet(Machine::summit(), 1);
+            let r = m.alloc(bytes);
+            b.iter(|| {
+                m.run_single(0, |core| core.load_seq(r.base(), bytes));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_strided_loads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim/strided_load");
+    let count = 100_000u64;
+    g.throughput(Throughput::Elements(count));
+    g.bench_function("stride_4_sectors", |b| {
+        let mut m = SimMachine::quiet(Machine::summit(), 2);
+        let r = m.alloc(count * 256 + 64);
+        b.iter(|| {
+            m.run_single(0, |core| {
+                for i in 0..count {
+                    core.load(r.base() + i * 256, 8);
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+fn bench_bypass_stores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim/store_seq");
+    let bytes = 1024 * 1024u64;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("1MiB", |b| {
+        let mut m = SimMachine::quiet(Machine::summit(), 3);
+        let r = m.alloc(bytes);
+        b.iter(|| {
+            m.run_single(0, |core| core.store_seq(r.base(), bytes));
+        });
+    });
+    g.finish();
+}
+
+fn bench_pcp_fetch(c: &mut Criterion) {
+    use pcp_sim::{PcpContext, Pmcd, PmcdConfig, Pmns};
+    let m = SimMachine::quiet(Machine::summit(), 4);
+    let pmns = Pmns::for_machine(m.arch());
+    let sockets = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
+    let d = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+    let ctx = PcpContext::connect(d.handle(), None);
+    let reqs: Vec<_> = (0..8)
+        .map(|ch| {
+            let id = pmns
+                .lookup(&format!(
+                    "perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_READ_BYTES.value"
+                ))
+                .unwrap();
+            (id, pcp_sim::InstanceId(87))
+        })
+        .collect();
+    c.bench_function("pcp/fetch_8_metrics", |b| {
+        b.iter(|| ctx.pm_fetch(&reqs).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_loads,
+    bench_strided_loads,
+    bench_bypass_stores,
+    bench_pcp_fetch
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 2: memory traffic of the single-threaded GEMM with **one
+//! repetition**, measured via PCP on Summit (`--system summit`, Fig. 2a)
+//! or via perf_uncore on Tellico (`--system tellico`, Fig. 2b).
+//!
+//! Expected shape: small sizes dominated by noise; measurements approach
+//! the 3N²/N² expectations only for larger problems, identically on both
+//! measurement paths.
+
+use repro_bench::figures::{gemm_sweep, print_gemm_rows};
+use repro_bench::{gemm_sizes, header, Args, System};
+
+fn main() {
+    let args = Args::parse();
+    let system = System::from_arg(&args.get_or("system", "summit"));
+    let sizes = gemm_sizes(args.flag("full"));
+    let seed = args.get_u64("seed", 2);
+    header(
+        "Fig. 2: single-threaded GEMM, 1 repetition",
+        &[
+            ("system", system.name().into()),
+            ("events", if system == System::Summit { "pcp".into() } else { "perf_uncore".into() }),
+            ("seed", seed.to_string()),
+        ],
+    );
+    let rows = gemm_sweep(system, 1, &sizes, |_| 1, seed);
+    let bounds = blas_kernels::gemm_cache_bounds(p9_arch::L3_PER_CORE_BYTES);
+    print_gemm_rows(&rows, bounds);
+}

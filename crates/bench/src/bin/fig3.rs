@@ -1,0 +1,36 @@
+//! Figure 3: GEMM with the adaptive repetition scheme (Eq. 5), PCP events
+//! on Summit. `--mode single` (Fig. 3a) vs `--mode batched` (Fig. 3b,
+//! one GEMM per usable core).
+//!
+//! Expected shape: repetition averaging removes the noise floor; the
+//! single-threaded kernel still drifts above the expectation with size and
+//! shows NO jump at N≈809 (L3 slice borrowing gives it 110 MB), while the
+//! batched kernel matches the expectation and jumps once each core's 5 MB
+//! share is exceeded.
+
+use repro_bench::figures::{gemm_sweep, print_gemm_rows};
+use repro_bench::{gemm_sizes, header, Args, System};
+
+fn main() {
+    let args = Args::parse();
+    let mode = args.get_or("mode", "both");
+    let sizes = gemm_sizes(args.flag("full"));
+    let seed = args.get_u64("seed", 3);
+    let mut runs: Vec<(&str, usize)> = Vec::new();
+    if mode == "single" || mode == "both" {
+        runs.push(("single", 1));
+    }
+    if mode == "batched" || mode == "both" {
+        runs.push(("batched", 21));
+    }
+    for (label, threads) in runs {
+        header(
+            &format!("Fig. 3 ({label}): GEMM, adaptive repetitions (Eq. 5), PCP"),
+            &[("threads", threads.to_string()), ("seed", seed.to_string())],
+        );
+        let rows = gemm_sweep(System::Summit, threads, &sizes, blas_kernels::repetitions, seed);
+        let bounds = blas_kernels::gemm_cache_bounds(p9_arch::L3_PER_CORE_BYTES);
+        print_gemm_rows(&rows, bounds);
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 5: the batched, capped GEMV — square (`M = N = P`) up to the
+//! capping point at 1280, capped (`N = P = 1280`) beyond; PCP events on
+//! Summit (`--system summit`, Fig. 5a) or perf_uncore on Tellico
+//! (`--system tellico`, Fig. 5b).
+//!
+//! Expected shape: reads track `M·N + M + N` through the transition;
+//! writes exceed the tiny `M` expectation until M reaches ~10⁴ (noise
+//! floor), on both measurement paths.
+
+use repro_bench::figures::{gemv_sweep, print_gemv_rows};
+use repro_bench::{gemv_sizes, header, Args, System};
+
+fn main() {
+    let args = Args::parse();
+    let system = System::from_arg(&args.get_or("system", "summit"));
+    let sizes = gemv_sizes(args.flag("full"));
+    let seed = args.get_u64("seed", 5);
+    let threads = if system == System::Summit { 21 } else { 16 };
+    header(
+        "Fig. 5: batched, capped GEMV",
+        &[
+            ("system", system.name().into()),
+            ("threads", threads.to_string()),
+            ("cap (M=N=P transition)", repro_bench::figures::GEMV_CAP.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+    let rows = gemv_sweep(system, threads, &sizes, seed);
+    print_gemv_rows(&rows);
+}

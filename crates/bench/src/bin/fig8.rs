@@ -1,0 +1,37 @@
+//! Figure 8: S1CF written as the combined loop nest (Listing 8):
+//! sequential reads of `in`, strided writes of `out`.
+//!
+//! Expected shape: two reads (in + out's read-for-ownership) and one
+//! write per element — "significantly less reading than ... the original
+//! S1CF".
+
+use fft3d::resort::{LocalDims, ResortTrace, S1cfCombined};
+use repro_bench::figures::{measure_resort, print_resort_rows};
+use repro_bench::{fft_sizes, header, Args};
+
+fn main() {
+    let args = Args::parse();
+    let sizes = fft_sizes(args.flag("full"));
+    let runs = args.get_usize("runs", 2);
+    let seed = args.get_u64("seed", 8);
+    header(
+        "Fig. 8: S1CF combined loop nest, no additional compiler optimizations",
+        &[("grid", "2x4".into()), ("runs", runs.to_string())],
+    );
+    let rows: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            measure_resort(
+                &|m, n| {
+                    Box::new(S1cfCombined::allocate(m, LocalDims::for_grid(n, 2, 4)))
+                        as Box<dyn ResortTrace>
+                },
+                n,
+                false,
+                runs,
+                seed,
+            )
+        })
+        .collect();
+    print_resort_rows(&rows);
+}

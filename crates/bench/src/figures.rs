@@ -1,0 +1,271 @@
+//! Measurement drivers shared by the figure binaries.
+
+use blas_kernels::{
+    measure_traffic, BatchedCappedGemvTrace, BatchedGemmTrace, MeasureConfig, NestEvents,
+};
+use fft3d::resort::ResortTrace;
+use p9_memsim::SimMachine;
+use papi_sim::EventSet;
+
+use crate::System;
+
+/// One row of a GEMM sweep (Figs. 2–4).
+#[derive(Clone, Copy, Debug)]
+pub struct GemmRow {
+    pub n: u64,
+    pub reps: u32,
+    pub expected_read: f64,
+    pub expected_write: f64,
+    pub measured_read: f64,
+    pub measured_write: f64,
+}
+
+/// Measure a GEMM sweep. `threads = 1` for the single-threaded kernel,
+/// `21` for the batched one; `reps_of(n)` picks the repetition count
+/// (`|_| 1` for Fig. 2, Eq. 5 for Figs. 3–4).
+pub fn gemm_sweep(
+    system: System,
+    threads: usize,
+    sizes: &[u64],
+    reps_of: impl Fn(u64) -> u32,
+    seed: u64,
+) -> Vec<GemmRow> {
+    let (mut machine, setup) = crate::node(system, seed);
+    let events = match system {
+        System::Summit => NestEvents::pcp(&machine),
+        System::Tellico => NestEvents::uncore(),
+    };
+    sizes
+        .iter()
+        .map(|&n| {
+            let reps = reps_of(n);
+            let cfg = MeasureConfig {
+                reps,
+                threads,
+                factored: true,
+            };
+            let sample = measure_traffic(
+                &mut machine,
+                &setup.papi,
+                &events,
+                |mach, t| BatchedGemmTrace::allocate(mach, n, t),
+                |k, tid, core| k.run_thread(tid, core),
+                &cfg,
+            )
+            .expect("gemm measurement");
+            let expect = blas_kernels::gemm_expected(n).batched(threads);
+            GemmRow {
+                n,
+                reps,
+                expected_read: expect.read_bytes,
+                expected_write: expect.write_bytes,
+                measured_read: sample.read_bytes,
+                measured_write: sample.write_bytes,
+            }
+        })
+        .collect()
+}
+
+/// One row of the capped-GEMV sweep (Fig. 5).
+#[derive(Clone, Copy, Debug)]
+pub struct GemvRow {
+    pub m: u64,
+    pub n: u64,
+    pub reps: u32,
+    pub expected_read: f64,
+    pub expected_write: f64,
+    pub measured_read: f64,
+    pub measured_write: f64,
+}
+
+/// The capping width: square GEMV up to `M = 1280`, capped (fixed
+/// `N = P = 1280`) beyond, per Section III.
+pub const GEMV_CAP: u64 = 1280;
+
+/// Measure the batched, capped GEMV sweep of Fig. 5.
+pub fn gemv_sweep(system: System, threads: usize, sizes: &[u64], seed: u64) -> Vec<GemvRow> {
+    let (mut machine, setup) = crate::node(system, seed);
+    let events = match system {
+        System::Summit => NestEvents::pcp(&machine),
+        System::Tellico => NestEvents::uncore(),
+    };
+    sizes
+        .iter()
+        .map(|&m| {
+            let n = m.min(GEMV_CAP);
+            let reps = blas_kernels::repetitions(m);
+            let cfg = MeasureConfig {
+                reps,
+                threads,
+                factored: true,
+            };
+            let sample = measure_traffic(
+                &mut machine,
+                &setup.papi,
+                &events,
+                |mach, t| BatchedCappedGemvTrace::allocate(mach, m, n, t),
+                |k, tid, core| k.run_thread(tid, core),
+                &cfg,
+            )
+            .expect("gemv measurement");
+            let expect = blas_kernels::capped_gemv_expected(m, n).batched(threads);
+            GemvRow {
+                m,
+                n,
+                reps,
+                expected_read: expect.read_bytes,
+                expected_write: expect.write_bytes,
+                measured_read: sample.read_bytes,
+                measured_write: sample.write_bytes,
+            }
+        })
+        .collect()
+}
+
+/// One row of a re-sorting figure (Figs. 6–9): min/max over runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ResortRow {
+    pub n: usize,
+    pub runs: usize,
+    pub expected_read: f64,
+    pub expected_write: f64,
+    pub min_read: f64,
+    pub max_read: f64,
+    pub min_write: f64,
+    pub max_write: f64,
+    /// Per-16-byte-element read/write transactions (the paper's units).
+    pub per_elem_read: f64,
+    pub per_elem_write: f64,
+    /// Mean simulated seconds per run (the Fig. 7b speedup shows here).
+    pub seconds: f64,
+}
+
+/// Measure one re-sorting routine at size `n`, `runs` independent runs
+/// with fresh buffers each (the paper reports min/max of 50 runs).
+/// Routines run under the all-cores L3 share (the original loops are
+/// OpenMP-parallel across the socket).
+pub fn measure_resort(
+    make: &dyn Fn(&mut SimMachine, usize) -> Box<dyn ResortTrace>,
+    n: usize,
+    prefetch: bool,
+    runs: usize,
+    seed: u64,
+) -> ResortRow {
+    let (mut machine, setup) = crate::node(System::Summit, seed);
+    machine.set_software_prefetch(0, prefetch);
+    let events = NestEvents::pcp(&machine);
+    let mut es = EventSet::new();
+    for e in events.reads.iter().chain(&events.writes) {
+        es.add_event(e).unwrap();
+    }
+    let nr = events.reads.len();
+    let active = machine.arch().node.sockets[0].usable_cores;
+
+    let mut reads = Vec::with_capacity(runs);
+    let mut writes = Vec::with_capacity(runs);
+    let mut volume = 0u64;
+    let mut expected = (0u64, 0u64);
+    let mut seconds = 0.0;
+    let shared = machine.socket_shared(0);
+    for _ in 0..runs {
+        let trace = make(&mut machine, n);
+        volume = trace.volume();
+        expected = trace.expected();
+        es.start(&setup.papi).unwrap();
+        let t0 = shared.now_seconds();
+        machine.run_parallel(0, active, |tid, core| {
+            if tid == 0 {
+                trace.run(core);
+            }
+        });
+        seconds += shared.now_seconds() - t0;
+        let vals = es.stop().unwrap();
+        reads.push(vals[..nr].iter().sum::<i64>() as f64);
+        writes.push(vals[nr..].iter().sum::<i64>() as f64);
+    }
+    let seconds = seconds / runs as f64;
+
+    let fold = |v: &[f64]| {
+        (
+            v.iter().cloned().fold(f64::INFINITY, f64::min),
+            v.iter().cloned().fold(0.0, f64::max),
+        )
+    };
+    let (min_read, max_read) = fold(&reads);
+    let (min_write, max_write) = fold(&writes);
+    let elems = volume as f64 / 16.0;
+    ResortRow {
+        n,
+        runs,
+        expected_read: expected.0 as f64,
+        expected_write: expected.1 as f64,
+        min_read,
+        max_read,
+        min_write,
+        max_write,
+        per_elem_read: (reads.iter().sum::<f64>() / runs as f64) / 16.0 / elems,
+        per_elem_write: (writes.iter().sum::<f64>() / runs as f64) / 16.0 / elems,
+        seconds,
+    }
+}
+
+/// Print the CSV of a resort sweep.
+pub fn print_resort_rows(rows: &[ResortRow]) {
+    println!(
+        "n,runs,expected_read,expected_write,min_read,max_read,min_write,max_write,reads_per_elem,writes_per_elem,seconds"
+    );
+    for r in rows {
+        println!(
+            "{},{},{:.0},{:.0},{:.0},{:.0},{:.0},{:.0},{:.3},{:.3},{:.6}",
+            r.n,
+            r.runs,
+            r.expected_read,
+            r.expected_write,
+            r.min_read,
+            r.max_read,
+            r.min_write,
+            r.max_write,
+            r.per_elem_read,
+            r.per_elem_write,
+            r.seconds
+        );
+    }
+}
+
+/// Print the CSV of a GEMM sweep.
+pub fn print_gemm_rows(rows: &[GemmRow], cache_bounds: (u64, u64)) {
+    println!("# cache-region bounds (Eq. 3/4): N in [{}, {}]", cache_bounds.0, cache_bounds.1);
+    println!("n,reps,expected_read,expected_write,measured_read,measured_write,read_ratio,write_ratio");
+    for r in rows {
+        println!(
+            "{},{},{:.0},{:.0},{:.0},{:.0},{:.3},{:.3}",
+            r.n,
+            r.reps,
+            r.expected_read,
+            r.expected_write,
+            r.measured_read,
+            r.measured_write,
+            r.measured_read / r.expected_read,
+            r.measured_write / r.expected_write,
+        );
+    }
+}
+
+/// Print the CSV of a GEMV sweep.
+pub fn print_gemv_rows(rows: &[GemvRow]) {
+    println!("m,n,reps,expected_read,expected_write,measured_read,measured_write,read_ratio,write_ratio");
+    for r in rows {
+        println!(
+            "{},{},{},{:.0},{:.0},{:.0},{:.0},{:.3},{:.3}",
+            r.m,
+            r.n,
+            r.reps,
+            r.expected_read,
+            r.expected_write,
+            r.measured_read,
+            r.measured_write,
+            r.measured_read / r.expected_read,
+            r.measured_write / r.expected_write,
+        );
+    }
+}

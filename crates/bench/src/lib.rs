@@ -1,0 +1,178 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary prints a CSV (plus a short header of run parameters) whose
+//! rows correspond to the series of one paper figure. `EXPERIMENTS.md` at
+//! the repository root records the paper-vs-measured comparison for each.
+
+use p9_memsim::SimMachine;
+use papi_sim::papi::{setup_node, NodeSetup};
+
+pub mod figures;
+
+/// Minimal `--key value` / `--flag` argument parser (no external deps).
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    out.pairs.push((key.to_owned(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    out.flags.push(key.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_owned()
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Which of the paper's systems an experiment models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum System {
+    Summit,
+    Tellico,
+}
+
+impl System {
+    pub fn from_arg(s: &str) -> System {
+        match s {
+            "tellico" => System::Tellico,
+            _ => System::Summit,
+        }
+    }
+
+    pub fn machine(self, seed: u64) -> SimMachine {
+        match self {
+            System::Summit => SimMachine::summit(seed),
+            System::Tellico => SimMachine::tellico(seed),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Summit => "summit",
+            System::Tellico => "tellico",
+        }
+    }
+}
+
+/// Wire a machine with its PAPI stack.
+pub fn node(system: System, seed: u64) -> (SimMachine, NodeSetup) {
+    let m = system.machine(seed);
+    let setup = setup_node(&m, Vec::new());
+    (m, setup)
+}
+
+/// The GEMM problem-size sweep used by Figs. 2–4. `full` extends to the
+/// paper's largest sizes (slower).
+pub fn gemm_sizes(full: bool) -> Vec<u64> {
+    let mut v = vec![
+        64, 96, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1280, 1536,
+    ];
+    if full {
+        v.extend([2048, 2560, 3072]);
+    }
+    v
+}
+
+/// The capped-GEMV output-size sweep of Fig. 5 (square until the capping
+/// point at 1280, capped beyond).
+pub fn gemv_sizes(full: bool) -> Vec<u64> {
+    let mut v = vec![
+        128, 256, 512, 768, 1024, 1280, 2048, 4096, 8192, 16384, 32768, 65536,
+    ];
+    if full {
+        v.extend([131_072, 262_144]);
+    }
+    v
+}
+
+/// The FFT problem sizes of Figs. 6–9 (divisible by the 2×4 grid).
+pub fn fft_sizes(full: bool) -> Vec<usize> {
+    let mut v = vec![112, 168, 224, 336, 448, 560, 672, 896];
+    if full {
+        v.extend([1120, 1344]);
+    }
+    v
+}
+
+/// Print the standard experiment header.
+pub fn header(figure: &str, params: &[(&str, String)]) {
+    println!("# {figure}");
+    for (k, v) in params {
+        println!("# {k} = {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sorted_and_grid_compatible() {
+        let g = gemm_sizes(true);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        let f = fft_sizes(true);
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+        // Figs. 6-9 run on a 2x4 grid: sizes must divide.
+        assert!(f.iter().all(|n| n % 4 == 0 && n % 2 == 0));
+        let v = gemv_sizes(false);
+        assert!(v.contains(&figures::GEMV_CAP), "sweep must hit the cap");
+    }
+
+    #[test]
+    fn system_parsing() {
+        assert_eq!(System::from_arg("tellico"), System::Tellico);
+        assert_eq!(System::from_arg("summit"), System::Summit);
+        assert_eq!(System::from_arg("anything-else"), System::Summit);
+        assert_eq!(System::Tellico.name(), "tellico");
+    }
+
+    #[test]
+    fn node_wiring_matches_system() {
+        let (m, setup) = node(System::Tellico, 3);
+        assert_eq!(m.arch().node.sockets[0].usable_cores, 16);
+        assert!(setup
+            .papi
+            .component_status()
+            .iter()
+            .any(|s| s.name == "perf_uncore" && s.enabled));
+    }
+}

@@ -1,0 +1,296 @@
+//! Mixed-radix complex FFT.
+//!
+//! Any length is supported: the transform recurses on the smallest prime
+//! factor (decimation in time) and falls back to the naive DFT at prime
+//! radices. The paper's job sizes factor smoothly (1344 = 2⁶·3·7,
+//! 2016 = 2⁵·3²·7), so prime radices stay tiny.
+
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A double-precision complex number.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Smallest prime factor of `n ≥ 2`.
+fn smallest_factor(n: usize) -> usize {
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut p = 3;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            return p;
+        }
+        p += 2;
+    }
+    n
+}
+
+/// Naive O(N²) DFT (forward for `sign = -1`). The correctness oracle.
+pub fn naive_dft(input: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (u, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * std::f64::consts::PI * (u * j % n) as f64 / n as f64;
+            acc += x * Complex::cis(theta);
+        }
+        *o = acc;
+    }
+    out
+}
+
+fn fft_rec(data: &mut [Complex], sign: f64, scratch: &mut Vec<Complex>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let p = smallest_factor(n);
+    if p == n {
+        // Prime length: naive DFT.
+        let out = naive_dft(data, sign);
+        data.copy_from_slice(&out);
+        return;
+    }
+    let m = n / p;
+
+    // Decimate: sub-sequence l = elements l, l+p, l+2p, ...
+    let base = scratch.len();
+    scratch.resize(base + n, Complex::ZERO);
+    for l in 0..p {
+        for t in 0..m {
+            scratch[base + l * m + t] = data[t * p + l];
+        }
+    }
+    for l in 0..p {
+        // Recurse on each length-m subsequence (contiguous in scratch).
+        let mut sub = scratch[base + l * m..base + (l + 1) * m].to_vec();
+        fft_rec(&mut sub, sign, scratch);
+        scratch[base + l * m..base + (l + 1) * m].copy_from_slice(&sub);
+    }
+    // Combine: X[u] = Σ_l w^{u·l} · S_l[u mod m],  w = e^{sign·2πi/n}.
+    for (u, d) in data.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for l in 0..p {
+            let theta = sign * 2.0 * std::f64::consts::PI * ((u * l) % n) as f64 / n as f64;
+            acc += Complex::cis(theta) * scratch[base + l * m + (u % m)];
+        }
+        *d = acc;
+    }
+    scratch.truncate(base);
+}
+
+/// In-place forward FFT (`X_u = Σ_j x_j e^{-2πi u j / N}`).
+pub fn fft(data: &mut [Complex]) {
+    let mut scratch = Vec::new();
+    fft_rec(data, -1.0, &mut scratch);
+}
+
+/// In-place inverse FFT, normalized so `ifft(fft(x)) = x`.
+pub fn ifft(data: &mut [Complex]) {
+    let mut scratch = Vec::new();
+    fft_rec(data, 1.0, &mut scratch);
+    let s = 1.0 / data.len() as f64;
+    for d in data {
+        *d = d.scale(s);
+    }
+}
+
+/// FLOPs of one length-`n` complex FFT (the standard 5·N·log₂N estimate,
+/// used to size the simulated GPU kernels).
+pub fn fft_flops(n: u64) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i * i % 7) as f64 * 0.11))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_mixed_lengths() {
+        // Powers of two, primes, and the paper's smooth sizes scaled down.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 12, 16, 21, 32, 42, 63, 64, 84, 128] {
+            let input = ramp(n);
+            let mut out = input.clone();
+            fft(&mut out);
+            let expect = naive_dft(&input, -1.0);
+            assert_close(&out, &expect, 1e-9 * (n as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [6usize, 30, 50, 96, 210] {
+            let input = ramp(n);
+            let mut data = input.clone();
+            fft(&mut data);
+            ifft(&mut data);
+            assert_close(&data, &input, 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_constant() {
+        let n = 24;
+        let mut data = vec![Complex::ZERO; n];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for d in &data {
+            assert!((*d - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_delta() {
+        let n = 36;
+        let mut data = vec![Complex::ONE; n];
+        fft(&mut data);
+        assert!((data[0] - Complex::new(n as f64, 0.0)).abs() < 1e-9);
+        for d in &data[1..] {
+            assert!(d.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 56; // 2^3 * 7
+        let input = ramp(n);
+        let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+        let mut data = input;
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum();
+        assert!(
+            (freq_energy - n as f64 * time_energy).abs() < 1e-6 * freq_energy,
+            "{freq_energy} vs {}",
+            n as f64 * time_energy
+        );
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48;
+        let a = ramp(n);
+        let b: Vec<Complex> = ramp(n).iter().map(|c| c.conj()).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fs = sum.clone();
+        fft(&mut fs);
+        for i in 0..n {
+            assert!((fs[i] - (fa[i] + fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn smallest_factor_correct() {
+        assert_eq!(smallest_factor(2), 2);
+        assert_eq!(smallest_factor(21), 3);
+        assert_eq!(smallest_factor(49), 7);
+        assert_eq!(smallest_factor(97), 97);
+        assert_eq!(smallest_factor(1344), 2);
+    }
+
+    #[test]
+    fn flops_estimate_monotone() {
+        assert!(fft_flops(2048) > fft_flops(1024) * 2.0);
+    }
+}

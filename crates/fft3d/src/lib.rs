@@ -1,0 +1,34 @@
+//! # fft3d — the distributed, GPU-accelerated 3D-FFT mini-app
+//!
+//! Section IV of the paper studies the data re-sorting routines of a
+//! pencil-decomposed 3D-FFT (one MPI rank per POWER9 socket, an `r × c`
+//! virtual processor grid), then profiles a GPU-accelerated variant with
+//! PAPI's PCP + NVML + InfiniBand components simultaneously (Fig. 11).
+//!
+//! The crate provides:
+//!
+//! * [`fft1d`] — a mixed-radix complex FFT (any `N`; radix-p Cooley–Tukey
+//!   with naive DFT at prime radices), verified against the O(N²) DFT.
+//! * [`pencil`] — the distributed 3D-FFT over [`ranksim::LocalComm`]:
+//!   1D FFTs along each axis separated by the re-sorting + All2All
+//!   exchanges, verified against a naive 3D DFT.
+//! * [`resort`] — the paper's re-sorting routines (`S1CF` as two loop
+//!   nests and as the combined nest, `S2CF`), each as a numeric kernel
+//!   *and* as a memory-trace generator, including the
+//!   `-fprefetch-loop-arrays` variants.
+//! * [`planewise`] — the S1PF / S2PF planewise variants the paper elides
+//!   ("similar structure and performance").
+//! * [`model`] — expected-traffic formulas and the Eq. 7 cache bound.
+//! * [`gpu`] — the cuFFT-style offloaded pipeline that drives Fig. 11.
+
+pub mod fft1d;
+pub mod gpu;
+pub mod model;
+pub mod pencil;
+pub mod planewise;
+pub mod resort;
+
+pub use fft1d::{fft, ifft, naive_dft, Complex};
+pub use pencil::{distributed_fft3d, naive_dft3d};
+pub use planewise::{S1pf, S2pf};
+pub use resort::{LocalDims, ResortTrace, S1cfCombined, S1cfNest1, S1cfNest2, S2cf};

@@ -1,0 +1,106 @@
+//! Expected-traffic models for the re-sorting routines (Section IV).
+
+use p9_arch::C64_BYTES;
+
+/// Equation 7: the problem size above which S1CF's second loop nest can no
+/// longer reuse `tmp` sectors from the cache. The reuse window needs
+/// `4·(16·N²/ranks) + (16·N²/ranks)` bytes; setting it equal to the
+/// per-core cache gives the bound (`N ≈ 724` for 5 MB and 8 ranks).
+pub fn eq7_bound(cache_bytes: u64, ranks: u64) -> u64 {
+    // 5 * 16 * N² / ranks = cache  =>  N = sqrt(cache * ranks / 80)
+    ((cache_bytes as f64) * (ranks as f64) / (5.0 * C64_BYTES as f64)).sqrt() as u64
+}
+
+/// Per-element expected transaction counts for each routine, in the
+/// paper's "reads/writes per innermost iteration" units (16-byte element
+/// equivalents). `beyond_eq7` selects the post-bound regime for nest 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerElement {
+    pub reads: f64,
+    pub writes: f64,
+}
+
+/// S1CF loop nest 1, no compiler prefetch: stores bypass.
+pub const S1CF_NEST1: PerElement = PerElement {
+    reads: 1.0,
+    writes: 1.0,
+};
+
+/// S1CF loop nest 1 with `-fprefetch-loop-arrays`: `dcbtst` forces `tmp`
+/// into the cache — one extra read.
+pub const S1CF_NEST1_PREFETCH: PerElement = PerElement {
+    reads: 2.0,
+    writes: 1.0,
+};
+
+/// S1CF loop nest 2 while `tmp` sectors still fit (below Eq. 7).
+pub const S1CF_NEST2_CACHED: PerElement = PerElement {
+    reads: 2.0,
+    writes: 1.0,
+};
+
+/// S1CF loop nest 2 past the Eq. 7 bound: a whole 64-byte sector per
+/// 16-byte element of `tmp` (4×) plus `out`'s read-for-ownership.
+pub const S1CF_NEST2_UNCACHED: PerElement = PerElement {
+    reads: 5.0,
+    writes: 1.0,
+};
+
+/// The combined S1CF loop nest: one read of `in`, one read-for-ownership
+/// of the strided `out`, one write.
+pub const S1CF_COMBINED: PerElement = PerElement {
+    reads: 2.0,
+    writes: 1.0,
+};
+
+/// S2CF: the stride is amortized by the contiguous innermost runs.
+pub const S2CF: PerElement = PerElement {
+    reads: 1.0,
+    writes: 1.0,
+};
+
+impl PerElement {
+    /// Convert to expected bytes for a pencil of `elems` double-complex
+    /// elements.
+    pub fn bytes(&self, elems: u64) -> (f64, f64) {
+        (
+            self.reads * (elems * C64_BYTES) as f64,
+            self.writes * (elems * C64_BYTES) as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq7_reproduces_the_papers_724() {
+        // 5 MB cache, 8 processes (2x4 grid).
+        assert_eq!(eq7_bound(5 * 1024 * 1024, 8), 724);
+    }
+
+    #[test]
+    fn eq7_scales_with_cache_and_ranks() {
+        let base = eq7_bound(5 * 1024 * 1024, 8);
+        assert!(eq7_bound(10 * 1024 * 1024, 8) > base);
+        assert!(eq7_bound(5 * 1024 * 1024, 32) > base);
+        assert!(eq7_bound(1024 * 1024, 8) < base);
+    }
+
+    #[test]
+    fn ratios_match_the_paper() {
+        assert_eq!(S1CF_NEST1.reads / S1CF_NEST1.writes, 1.0);
+        assert_eq!(S1CF_NEST1_PREFETCH.reads, 2.0);
+        assert_eq!(S1CF_NEST2_UNCACHED.reads, 5.0);
+        assert_eq!(S1CF_COMBINED.reads / S1CF_COMBINED.writes, 2.0);
+        assert_eq!(S2CF.reads, S2CF.writes);
+    }
+
+    #[test]
+    fn byte_conversion() {
+        let (r, w) = S1CF_COMBINED.bytes(1000);
+        assert_eq!(r, 32_000.0);
+        assert_eq!(w, 16_000.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The planewise re-sorting variants (S1PF / S2PF).
+//!
+//! The paper's four re-sorting routines come in colwise and planewise
+//! flavours; it shows results only for the colwise pair because "the
+//! structure and performance of S1PF and S2PF are similar to those of
+//! S1CF and S2CF". The planewise pair is provided here for completeness
+//! and regression coverage:
+//!
+//! * **S1PF** (`store_1st_planewise_forward`): `[plane][row][col] →
+//!   [col][row][plane]` — like S1CF it hoists `col` outermost for the
+//!   exchange, but keeps `row` before `plane` in the output. Its combined
+//!   loop nest reads `in` sequentially and stores `out` in strides: the
+//!   same 2-reads-per-write signature as the combined S1CF.
+//! * **S2PF** (`store_2nd_planewise_forward`): the post-exchange merge
+//!   with the peer dimension inserted one level higher:
+//!   `out[p][y][x][row] = in[y][p][x][row]`. The innermost `row` runs are
+//!   contiguous on both sides, so like S2CF it moves one read and one
+//!   write per element.
+
+use crate::fft1d::Complex;
+use crate::resort::{LocalDims, ResortTrace};
+use p9_arch::C64_BYTES;
+use p9_memsim::{CoreSim, Region, SimMachine, SECTOR_BYTES};
+
+/// Numeric S1PF (combined form): `out[col][row][plane] = in[plane][row][col]`.
+pub fn s1pf_ref(input: &[Complex], out: &mut [Complex], d: LocalDims) {
+    assert_eq!(input.len(), d.len());
+    assert_eq!(out.len(), d.len());
+    let (p_n, r_n, c_n) = (d.planes, d.rows, d.cols);
+    for p in 0..p_n {
+        for r in 0..r_n {
+            for c in 0..c_n {
+                out[(c * r_n + r) * p_n + p] = input[(p * r_n + r) * c_n + c];
+            }
+        }
+    }
+}
+
+/// Numeric S2PF: `out[p][y][x][row] = in[y][p][x][row]`.
+pub fn s2pf_ref(
+    input: &[Complex],
+    out: &mut [Complex],
+    y_n: usize,
+    p_n: usize,
+    x_n: usize,
+    r_n: usize,
+) {
+    assert_eq!(input.len(), y_n * p_n * x_n * r_n);
+    assert_eq!(out.len(), input.len());
+    for p in 0..p_n {
+        for y in 0..y_n {
+            for x in 0..x_n {
+                let src = ((y * p_n + p) * x_n + x) * r_n;
+                let dst = ((p * y_n + y) * x_n + x) * r_n;
+                out[dst..dst + r_n].copy_from_slice(&input[src..src + r_n]);
+            }
+        }
+    }
+}
+
+/// Trace of the combined S1PF.
+#[derive(Clone, Copy, Debug)]
+pub struct S1pf {
+    pub dims: LocalDims,
+    pub input: Region,
+    pub out: Region,
+}
+
+impl S1pf {
+    pub fn allocate(machine: &mut SimMachine, dims: LocalDims) -> Self {
+        S1pf {
+            dims,
+            input: machine.alloc(dims.bytes()),
+            out: machine.alloc(dims.bytes()),
+        }
+    }
+}
+
+impl ResortTrace for S1pf {
+    fn label(&self) -> &'static str {
+        "S1PF"
+    }
+
+    fn run(&self, core: &mut CoreSim) {
+        let (p_n, r_n, c_n) = (
+            self.dims.planes as u64,
+            self.dims.rows as u64,
+            self.dims.cols as u64,
+        );
+        let per_sector = SECTOR_BYTES / C64_BYTES;
+        for p in 0..p_n {
+            for r in 0..r_n {
+                for c in 0..c_n {
+                    if c % per_sector == 0 {
+                        core.load(
+                            self.input.elem((p * r_n + r) * c_n + c, C64_BYTES),
+                            SECTOR_BYTES.min((c_n - c) * C64_BYTES),
+                        );
+                    }
+                    core.store(self.out.elem((c * r_n + r) * p_n + p, C64_BYTES), C64_BYTES);
+                    core.compute(1);
+                }
+            }
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.dims.bytes()
+    }
+
+    fn expected(&self) -> (u64, u64) {
+        // Same signature as the combined S1CF: in + out's RFO, one write.
+        (2 * self.volume(), self.volume())
+    }
+}
+
+/// Trace of S2PF.
+#[derive(Clone, Copy, Debug)]
+pub struct S2pf {
+    pub y_n: u64,
+    pub p_n: u64,
+    pub x_n: u64,
+    pub r_n: u64,
+    pub input: Region,
+    pub out: Region,
+}
+
+impl S2pf {
+    pub fn for_grid(machine: &mut SimMachine, n: usize, r: usize, c: usize) -> Self {
+        let (y_n, p_n, x_n, r_n) = (c as u64, (n / c) as u64, (n / r) as u64, (n / c) as u64);
+        let bytes = y_n * p_n * x_n * r_n * C64_BYTES;
+        S2pf {
+            y_n,
+            p_n,
+            x_n,
+            r_n,
+            input: machine.alloc(bytes),
+            out: machine.alloc(bytes),
+        }
+    }
+}
+
+impl ResortTrace for S2pf {
+    fn label(&self) -> &'static str {
+        "S2PF"
+    }
+
+    fn run(&self, core: &mut CoreSim) {
+        let run_bytes = self.r_n * C64_BYTES;
+        for p in 0..self.p_n {
+            for y in 0..self.y_n {
+                for x in 0..self.x_n {
+                    let src = ((y * self.p_n + p) * self.x_n + x) * self.r_n;
+                    let dst = ((p * self.y_n + y) * self.x_n + x) * self.r_n;
+                    core.load_seq(self.input.elem(src, C64_BYTES), run_bytes);
+                    core.store_seq(self.out.elem(dst, C64_BYTES), run_bytes);
+                    core.compute(self.r_n);
+                }
+            }
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.y_n * self.p_n * self.x_n * self.r_n * C64_BYTES
+    }
+
+    fn expected(&self) -> (u64, u64) {
+        (self.volume(), self.volume())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_arch::Machine;
+
+    fn pencil(len: usize) -> Vec<Complex> {
+        (0..len).map(|i| Complex::new(i as f64, 0.5)).collect()
+    }
+
+    #[test]
+    fn s1pf_is_the_planewise_transpose() {
+        let d = LocalDims::new(2, 3, 4);
+        let input = pencil(d.len());
+        let mut out = vec![Complex::ZERO; d.len()];
+        s1pf_ref(&input, &mut out, d);
+        for p in 0..2 {
+            for r in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(out[(c * 3 + r) * 2 + p], input[(p * 3 + r) * 4 + c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s1pf_and_s1cf_are_both_permutations_but_differ() {
+        use crate::resort::s1cf_ref;
+        let d = LocalDims::new(2, 3, 4);
+        let input = pencil(d.len());
+        let mut pf = vec![Complex::ZERO; d.len()];
+        let mut cf = vec![Complex::ZERO; d.len()];
+        s1pf_ref(&input, &mut pf, d);
+        s1cf_ref(&input, &mut cf, d);
+        assert_ne!(pf, cf, "planewise and colwise layouts must differ");
+        let key = |v: &[Complex]| {
+            let mut k: Vec<i64> = v.iter().map(|z| z.re as i64).collect();
+            k.sort_unstable();
+            k
+        };
+        assert_eq!(key(&pf), key(&cf));
+    }
+
+    #[test]
+    fn s2pf_merges_peers_one_level_higher_than_s2cf() {
+        let (y_n, p_n, x_n, r_n) = (2usize, 2, 3, 2);
+        let input = pencil(y_n * p_n * x_n * r_n);
+        let mut out = vec![Complex::ZERO; input.len()];
+        s2pf_ref(&input, &mut out, y_n, p_n, x_n, r_n);
+        for y in 0..y_n {
+            for p in 0..p_n {
+                for x in 0..x_n {
+                    for rr in 0..r_n {
+                        assert_eq!(
+                            out[((p * y_n + y) * x_n + x) * r_n + rr],
+                            input[((y * p_n + p) * x_n + x) * r_n + rr]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s1pf_traffic_matches_the_combined_s1cf_signature() {
+        let mut m = SimMachine::quiet(Machine::summit(), 91);
+        let t = S1pf::allocate(&mut m, LocalDims::for_grid(224, 2, 4));
+        let shared = m.socket_shared(0);
+        let before = shared.counters().snapshot();
+        m.run_single(0, |core| t.run(core));
+        m.flush_socket(0);
+        let d = shared.counters().snapshot().delta(&before);
+        let v = t.volume() as f64;
+        let rr = d.total_read() as f64 / v;
+        let wr = d.total_write() as f64 / v;
+        assert!((1.8..2.3).contains(&rr), "reads/element {rr}");
+        assert!((0.95..1.1).contains(&wr), "writes/element {wr}");
+    }
+
+    #[test]
+    fn s2pf_traffic_is_one_to_one() {
+        let mut m = SimMachine::quiet(Machine::summit(), 92);
+        let t = S2pf::for_grid(&mut m, 224, 2, 4);
+        let shared = m.socket_shared(0);
+        let before = shared.counters().snapshot();
+        m.run_single(0, |core| t.run(core));
+        let d = shared.counters().snapshot().delta(&before);
+        let v = t.volume() as f64;
+        let rr = d.total_read() as f64 / v;
+        let wr = d.total_write() as f64 / v;
+        assert!((0.98..1.1).contains(&rr), "reads/element {rr}");
+        assert!((0.98..1.1).contains(&wr), "writes/element {wr}");
+    }
+}

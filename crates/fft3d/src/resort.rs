@@ -1,0 +1,603 @@
+//! The paper's data re-sorting routines (Section IV).
+//!
+//! Each MPI rank's pencil is a `PLANES × ROWS × COLS` block of double
+//! complex elements (`PLANES = N/r`, `ROWS = N/c`, `COLS = N`). The
+//! re-sorting routines reshape it around the All2All exchanges:
+//!
+//! * **S1CF** (`store_1st_colwise_forward`): `[plane][row][col] →
+//!   [col][plane][row]`. The original code uses two loop nests through a
+//!   3-D `tmp` ([`s1cf_nest1_ref`] is a straight copy, [`s1cf_nest2_ref`]
+//!   the strided transpose); Listing 8 fuses them ([`s1cf_ref`]).
+//! * **S2CF** (`store_2nd_colwise_forward`): merges the peer dimension
+//!   after an exchange: `out[p][x][y][row] = in[y][p][x][row]` — the
+//!   innermost `row` dimension is contiguous on both sides, which is why
+//!   its stride "is amortized" and its stores bypass the cache.
+//!
+//! Every routine exists as a numeric kernel (used by the distributed FFT
+//! in [`crate::pencil`], so these are *the* routines whose output
+//! correctness is verified against a naive 3D DFT) and as a trace
+//! generator implementing the same loop nest on the simulated hierarchy.
+
+use crate::fft1d::Complex;
+use p9_arch::C64_BYTES;
+use p9_memsim::{CoreSim, Region, SimMachine, SECTOR_BYTES};
+
+/// Per-rank pencil dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalDims {
+    pub planes: usize,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl LocalDims {
+    pub fn new(planes: usize, rows: usize, cols: usize) -> Self {
+        LocalDims { planes, rows, cols }
+    }
+
+    /// For a global `N³` problem on an `r × c` grid.
+    pub fn for_grid(n: usize, r: usize, c: usize) -> Self {
+        assert_eq!(n % r, 0);
+        assert_eq!(n % c, 0);
+        LocalDims::new(n / r, n / c, n)
+    }
+
+    pub fn len(&self) -> usize {
+        self.planes * self.rows * self.cols
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of one pencil.
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * C64_BYTES
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numeric kernels
+// ---------------------------------------------------------------------
+
+/// S1CF loop nest 1 (Listing 5): copy the 1-D `in` into the 3-D `tmp`
+/// (layout-identical; the work is the traffic, not the reshape).
+pub fn s1cf_nest1_ref(input: &[Complex], tmp: &mut [Complex], d: LocalDims) {
+    assert_eq!(input.len(), d.len());
+    assert_eq!(tmp.len(), d.len());
+    tmp.copy_from_slice(input);
+}
+
+/// S1CF loop nest 2 (Listing 7): `out[col][plane][row] = tmp[plane][row][col]`.
+pub fn s1cf_nest2_ref(tmp: &[Complex], out: &mut [Complex], d: LocalDims) {
+    assert_eq!(tmp.len(), d.len());
+    assert_eq!(out.len(), d.len());
+    let (p_n, r_n, c_n) = (d.planes, d.rows, d.cols);
+    for c in 0..c_n {
+        for p in 0..p_n {
+            for r in 0..r_n {
+                out[(c * p_n + p) * r_n + r] = tmp[(p * r_n + r) * c_n + c];
+            }
+        }
+    }
+}
+
+/// S1CF as the combined loop nest (Listing 8): in-order reads, strided
+/// writes.
+pub fn s1cf_ref(input: &[Complex], out: &mut [Complex], d: LocalDims) {
+    assert_eq!(input.len(), d.len());
+    assert_eq!(out.len(), d.len());
+    let (p_n, r_n, c_n) = (d.planes, d.rows, d.cols);
+    for p in 0..p_n {
+        for r in 0..r_n {
+            for c in 0..c_n {
+                out[(c * p_n + p) * r_n + r] = input[(p * r_n + r) * c_n + c];
+            }
+        }
+    }
+}
+
+/// S2CF (Listing 9): `out[p][x][y][row] = in[y][p][x][row]` over dims
+/// `Y × PLANES × X × ROWS` — the peer-merge reshape after an exchange.
+pub fn s2cf_ref(
+    input: &[Complex],
+    out: &mut [Complex],
+    y_n: usize,
+    p_n: usize,
+    x_n: usize,
+    r_n: usize,
+) {
+    assert_eq!(input.len(), y_n * p_n * x_n * r_n);
+    assert_eq!(out.len(), input.len());
+    for p in 0..p_n {
+        for x in 0..x_n {
+            for y in 0..y_n {
+                let src = ((y * p_n + p) * x_n + x) * r_n;
+                let dst = ((p * x_n + x) * y_n + y) * r_n;
+                out[dst..dst + r_n].copy_from_slice(&input[src..src + r_n]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace generators
+// ---------------------------------------------------------------------
+
+/// Common interface for the traced re-sorting routines.
+///
+/// `Sync` so traces can be shared with the parallel execution API.
+pub trait ResortTrace: Sync {
+    /// Routine name as used in figures ("S1CF loop nest 1", …).
+    fn label(&self) -> &'static str;
+    /// Emit the routine's accesses on `core`.
+    fn run(&self, core: &mut CoreSim);
+    /// Bytes of one pencil (`16 · PLANES · ROWS · COLS`).
+    fn volume(&self) -> u64;
+    /// Expected (reads, writes) in bytes, without compiler prefetch,
+    /// assuming the working set exceeds the cache where relevant.
+    fn expected(&self) -> (u64, u64);
+}
+
+/// Allocate the three buffers of a traced S1CF (in, tmp, out).
+fn alloc3(machine: &mut SimMachine, d: LocalDims) -> (Region, Region, Region) {
+    (
+        machine.alloc(d.bytes()),
+        machine.alloc(d.bytes()),
+        machine.alloc(d.bytes()),
+    )
+}
+
+/// Trace of S1CF loop nest 1: sequential copy `in → tmp`.
+#[derive(Clone, Copy, Debug)]
+pub struct S1cfNest1 {
+    pub dims: LocalDims,
+    pub input: Region,
+    pub tmp: Region,
+}
+
+impl S1cfNest1 {
+    pub fn allocate(machine: &mut SimMachine, dims: LocalDims) -> Self {
+        let (input, tmp, _) = alloc3(machine, dims);
+        S1cfNest1 { dims, input, tmp }
+    }
+}
+
+impl ResortTrace for S1cfNest1 {
+    fn label(&self) -> &'static str {
+        "S1CF loop nest 1"
+    }
+
+    fn run(&self, core: &mut CoreSim) {
+        let row_bytes = self.dims.cols as u64 * C64_BYTES;
+        for pr in 0..(self.dims.planes * self.dims.rows) as u64 {
+            core.load_seq(self.input.base() + pr * row_bytes, row_bytes);
+            core.store_seq(self.tmp.base() + pr * row_bytes, row_bytes);
+            core.compute(self.dims.cols as u64);
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.dims.bytes()
+    }
+
+    fn expected(&self) -> (u64, u64) {
+        // Sequential stores bypass: one read (in), one write (tmp).
+        (self.volume(), self.volume())
+    }
+}
+
+/// Trace of S1CF loop nest 2: strided reads of `tmp`, sequential writes
+/// of `out`.
+#[derive(Clone, Copy, Debug)]
+pub struct S1cfNest2 {
+    pub dims: LocalDims,
+    pub tmp: Region,
+    pub out: Region,
+}
+
+impl S1cfNest2 {
+    pub fn allocate(machine: &mut SimMachine, dims: LocalDims) -> Self {
+        let (tmp, out, _) = alloc3(machine, dims);
+        S1cfNest2 { dims, tmp, out }
+    }
+}
+
+impl ResortTrace for S1cfNest2 {
+    fn label(&self) -> &'static str {
+        "S1CF loop nest 2"
+    }
+
+    fn run(&self, core: &mut CoreSim) {
+        let (p_n, r_n, c_n) = (
+            self.dims.planes as u64,
+            self.dims.rows as u64,
+            self.dims.cols as u64,
+        );
+        let mut dst = 0u64;
+        for c in 0..c_n {
+            for p in 0..p_n {
+                for r in 0..r_n {
+                    core.load(self.tmp.elem((p * r_n + r) * c_n + c, C64_BYTES), C64_BYTES);
+                    core.store(self.out.elem(dst, C64_BYTES), C64_BYTES);
+                    core.compute(1);
+                    dst += 1;
+                }
+            }
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.dims.bytes()
+    }
+
+    fn expected(&self) -> (u64, u64) {
+        // Beyond the Eq. 7 bound: a full 64-byte sector per 16-byte element
+        // of tmp (4x) plus out's read-for-ownership (1x) = up to 5 reads
+        // per element-write.
+        (5 * self.volume(), self.volume())
+    }
+}
+
+/// Trace of the combined S1CF (Listing 8): sequential reads of `in`,
+/// strided writes of `out`.
+#[derive(Clone, Copy, Debug)]
+pub struct S1cfCombined {
+    pub dims: LocalDims,
+    pub input: Region,
+    pub out: Region,
+}
+
+impl S1cfCombined {
+    pub fn allocate(machine: &mut SimMachine, dims: LocalDims) -> Self {
+        let (input, out, _) = alloc3(machine, dims);
+        S1cfCombined { dims, input, out }
+    }
+}
+
+impl S1cfCombined {
+    /// Emit only planes `[p0, p1)` — used by the profiled GPU pipeline to
+    /// interleave sampling with the phase.
+    pub fn run_planes(&self, core: &mut CoreSim, p0: u64, p1: u64) {
+        let (p_n, r_n, c_n) = (
+            self.dims.planes as u64,
+            self.dims.rows as u64,
+            self.dims.cols as u64,
+        );
+        assert!(p1 <= p_n);
+        let per_sector = SECTOR_BYTES / C64_BYTES; // 4 elements
+        for p in p0..p1 {
+            for r in 0..r_n {
+                for c in 0..c_n {
+                    if c % per_sector == 0 {
+                        core.load(
+                            self.input.elem((p * r_n + r) * c_n + c, C64_BYTES),
+                            SECTOR_BYTES.min((c_n - c) * C64_BYTES),
+                        );
+                    }
+                    core.store(self.out.elem((c * p_n + p) * r_n + r, C64_BYTES), C64_BYTES);
+                    core.compute(1);
+                }
+            }
+        }
+    }
+}
+
+impl ResortTrace for S1cfCombined {
+    fn label(&self) -> &'static str {
+        "S1CF combined"
+    }
+
+    fn run(&self, core: &mut CoreSim) {
+        let (p_n, r_n, c_n) = (
+            self.dims.planes as u64,
+            self.dims.rows as u64,
+            self.dims.cols as u64,
+        );
+        let per_sector = SECTOR_BYTES / C64_BYTES; // 4 elements
+        for p in 0..p_n {
+            for r in 0..r_n {
+                for c in 0..c_n {
+                    if c % per_sector == 0 {
+                        core.load(
+                            self.input.elem((p * r_n + r) * c_n + c, C64_BYTES),
+                            SECTOR_BYTES.min((c_n - c) * C64_BYTES),
+                        );
+                    }
+                    core.store(self.out.elem((c * p_n + p) * r_n + r, C64_BYTES), C64_BYTES);
+                    core.compute(1);
+                }
+            }
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.dims.bytes()
+    }
+
+    fn expected(&self) -> (u64, u64) {
+        // One read of in, one RFO read of out (strided store stream), one
+        // write of out.
+        (2 * self.volume(), self.volume())
+    }
+}
+
+/// Trace of S2CF: contiguous `ROWS`-long runs on both sides.
+#[derive(Clone, Copy, Debug)]
+pub struct S2cf {
+    pub y_n: u64,
+    pub p_n: u64,
+    pub x_n: u64,
+    pub r_n: u64,
+    pub input: Region,
+    pub out: Region,
+}
+
+impl S2cf {
+    /// Dimensions for the post-exchange merge on an `r × c` grid:
+    /// `Y = c`, `PLANES = N/c`, `X = N/r`, `ROWS = N/c` — the per-rank
+    /// volume is `N³/(r·c)` elements, same as the pencil.
+    pub fn for_grid(machine: &mut SimMachine, n: usize, r: usize, c: usize) -> Self {
+        let y_n = c as u64;
+        let p_n = (n / c) as u64;
+        let x_n = (n / r) as u64;
+        let r_n = (n / c) as u64;
+        let bytes = y_n * p_n * x_n * r_n * C64_BYTES;
+        S2cf {
+            y_n,
+            p_n,
+            x_n,
+            r_n,
+            input: machine.alloc(bytes),
+            out: machine.alloc(bytes),
+        }
+    }
+
+    pub fn volume_elems(&self) -> u64 {
+        self.y_n * self.p_n * self.x_n * self.r_n
+    }
+
+    /// Emit only the `p ∈ [p0, p1)` slab (for interleaved sampling).
+    pub fn run_planes(&self, core: &mut CoreSim, p0: u64, p1: u64) {
+        assert!(p1 <= self.p_n);
+        let run_bytes = self.r_n * C64_BYTES;
+        for p in p0..p1 {
+            for x in 0..self.x_n {
+                for y in 0..self.y_n {
+                    let src = ((y * self.p_n + p) * self.x_n + x) * self.r_n;
+                    let dst = ((p * self.x_n + x) * self.y_n + y) * self.r_n;
+                    core.load_seq(self.input.elem(src, C64_BYTES), run_bytes);
+                    core.store_seq(self.out.elem(dst, C64_BYTES), run_bytes);
+                    core.compute(self.r_n);
+                }
+            }
+        }
+    }
+}
+
+impl ResortTrace for S2cf {
+    fn label(&self) -> &'static str {
+        "S2CF"
+    }
+
+    fn run(&self, core: &mut CoreSim) {
+        let run_bytes = self.r_n * C64_BYTES;
+        for p in 0..self.p_n {
+            for x in 0..self.x_n {
+                for y in 0..self.y_n {
+                    let src = ((y * self.p_n + p) * self.x_n + x) * self.r_n;
+                    let dst = ((p * self.x_n + x) * self.y_n + y) * self.r_n;
+                    core.load_seq(self.input.elem(src, C64_BYTES), run_bytes);
+                    core.store_seq(self.out.elem(dst, C64_BYTES), run_bytes);
+                    core.compute(self.r_n);
+                }
+            }
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.volume_elems() * C64_BYTES
+    }
+
+    fn expected(&self) -> (u64, u64) {
+        // Stride amortized by the contiguous innermost runs: stores bypass,
+        // one read and one write per element.
+        (self.volume(), self.volume())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_arch::Machine;
+
+    fn pencil(d: LocalDims) -> Vec<Complex> {
+        (0..d.len())
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn nest1_plus_nest2_equals_combined() {
+        let d = LocalDims::new(3, 4, 5);
+        let input = pencil(d);
+        let mut tmp = vec![Complex::ZERO; d.len()];
+        let mut out_two = vec![Complex::ZERO; d.len()];
+        s1cf_nest1_ref(&input, &mut tmp, d);
+        s1cf_nest2_ref(&tmp, &mut out_two, d);
+        let mut out_one = vec![Complex::ZERO; d.len()];
+        s1cf_ref(&input, &mut out_one, d);
+        assert_eq!(out_two, out_one);
+    }
+
+    #[test]
+    fn s1cf_is_a_permutation() {
+        let d = LocalDims::new(2, 3, 4);
+        let input = pencil(d);
+        let mut out = vec![Complex::ZERO; d.len()];
+        s1cf_ref(&input, &mut out, d);
+        // out[c][p][r] = in[p][r][c]
+        for p in 0..2 {
+            for r in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(out[(c * 2 + p) * 3 + r], input[(p * 3 + r) * 4 + c]);
+                }
+            }
+        }
+        // Permutation: sorted element multisets agree.
+        let mut a: Vec<_> = input.iter().map(|z| z.re as i64).collect();
+        let mut b: Vec<_> = out.iter().map(|z| z.re as i64).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn s2cf_merges_peer_dimension() {
+        let (y_n, p_n, x_n, r_n) = (2usize, 3, 2, 4);
+        let input: Vec<Complex> = (0..y_n * p_n * x_n * r_n)
+            .map(|i| Complex::new(i as f64, 0.0))
+            .collect();
+        let mut out = vec![Complex::ZERO; input.len()];
+        s2cf_ref(&input, &mut out, y_n, p_n, x_n, r_n);
+        for y in 0..y_n {
+            for p in 0..p_n {
+                for x in 0..x_n {
+                    for rr in 0..r_n {
+                        assert_eq!(
+                            out[((p * x_n + x) * y_n + y) * r_n + rr],
+                            input[((y * p_n + p) * x_n + x) * r_n + rr]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace-level behaviour: the paper's read:write ratios.
+    // ------------------------------------------------------------------
+
+    fn measure<T: ResortTrace>(t: &T, machine: &mut SimMachine, prefetch: bool) -> (u64, u64) {
+        machine.set_software_prefetch(0, prefetch);
+        let shared = machine.socket_shared(0);
+        let before = shared.counters().snapshot();
+        machine.run_single(0, |core| t.run(core));
+        let d = shared.counters().snapshot().delta(&before);
+        (d.total_read(), d.total_write())
+    }
+
+    fn grid_dims() -> LocalDims {
+        // N = 224 on a 2x4 grid: pencil = 112 x 56 x 224 (~22 MB) exceeds
+        // the single-core borrowed L3? No — use all-cores share instead in
+        // the tests below where it matters. 22 MB < 110 MB borrowed cache,
+        // so configure via run_parallel in the tests that need streaming.
+        LocalDims::for_grid(224, 2, 4)
+    }
+
+    #[test]
+    fn nest1_one_read_one_write_per_element() {
+        let mut m = SimMachine::quiet(Machine::summit(), 41);
+        let t = S1cfNest1::allocate(&mut m, grid_dims());
+        let (reads, writes) = measure(&t, &mut m, false);
+        let v = t.volume() as f64;
+        let rr = reads as f64 / v;
+        let wr = writes as f64 / v;
+        assert!((0.98..1.05).contains(&rr), "reads/element {rr}");
+        assert!((0.98..1.05).contains(&wr), "writes/element {wr}");
+    }
+
+    #[test]
+    fn nest1_with_prefetch_reads_tmp_too() {
+        let mut m = SimMachine::quiet(Machine::summit(), 42);
+        let t = S1cfNest1::allocate(&mut m, grid_dims());
+        let (reads, writes) = measure(&t, &mut m, true);
+        let v = t.volume() as f64;
+        let rr = reads as f64 / v;
+        assert!((1.9..2.1).contains(&rr), "dcbtst must add a read: {rr}");
+        // Writes become write-backs of the same volume; some of tmp is
+        // still dirty in cache at the end.
+        assert!(writes as f64 <= v * 1.05);
+    }
+
+    #[test]
+    fn s2cf_one_read_one_write_per_element() {
+        let mut m = SimMachine::quiet(Machine::summit(), 43);
+        let t = S2cf::for_grid(&mut m, 224, 2, 4);
+        let (reads, writes) = measure(&t, &mut m, false);
+        let v = t.volume() as f64;
+        let rr = reads as f64 / v;
+        let wr = writes as f64 / v;
+        assert!((0.98..1.1).contains(&rr), "reads/element {rr}");
+        assert!((0.98..1.1).contains(&wr), "writes/element {wr}");
+    }
+
+    #[test]
+    fn combined_s1cf_two_reads_one_write() {
+        // Strided stores force out's read-for-ownership; out sectors are
+        // reused across the row loop so the RFO is one per element overall.
+        let mut m = SimMachine::quiet(Machine::summit(), 44);
+        let t = S1cfCombined::allocate(&mut m, grid_dims());
+        let shared = m.socket_shared(0);
+        let before = shared.counters().snapshot();
+        m.run_single(0, |core| t.run(core));
+        m.flush_socket(0); // count out's dirty sectors
+        let d = shared.counters().snapshot().delta(&before);
+        let v = t.volume() as f64;
+        let rr = d.total_read() as f64 / v;
+        let wr = d.total_write() as f64 / v;
+        assert!((1.8..2.3).contains(&rr), "reads/element {rr}");
+        assert!((0.95..1.1).contains(&wr), "writes/element {wr}");
+    }
+
+    #[test]
+    fn nest2_reads_grow_past_eq7_bound() {
+        // Use the 21-core share (~5 MB). N = 448 on 2x4: per Eq. 7 the
+        // reuse needs 10*448² = 2 MB (fits); N = 896 needs 8 MB
+        // (does not fit) -> ~5 reads per element.
+        let mut small = SimMachine::quiet(Machine::summit(), 45);
+        let ts = S1cfNest2::allocate(&mut small, LocalDims::for_grid(448, 2, 4));
+        let shared = small.socket_shared(0);
+        let b = shared.counters().snapshot();
+        small.run_parallel(0, 21, |tid, core| {
+            if tid == 0 {
+                ts.run(core)
+            }
+        });
+        let d = shared.counters().snapshot().delta(&b);
+        let small_ratio = d.total_read() as f64 / ts.volume() as f64;
+
+        let mut big = SimMachine::quiet(Machine::summit(), 46);
+        let tb = S1cfNest2::allocate(&mut big, LocalDims::for_grid(896, 2, 4));
+        let sb = big.socket_shared(0);
+        let b2 = sb.counters().snapshot();
+        big.run_parallel(0, 21, |tid, core| {
+            if tid == 0 {
+                tb.run(core)
+            }
+        });
+        let d2 = sb.counters().snapshot().delta(&b2);
+        let big_ratio = d2.total_read() as f64 / tb.volume() as f64;
+
+        assert!(
+            small_ratio < 3.0,
+            "below Eq. 7 bound reads/element should stay low: {small_ratio}"
+        );
+        assert!(
+            (4.0..5.4).contains(&big_ratio),
+            "past Eq. 7 bound expect ~5 reads/element: {big_ratio}"
+        );
+    }
+
+    #[test]
+    fn expected_ratios_match_paper() {
+        let mut m = SimMachine::quiet(Machine::summit(), 47);
+        let d = grid_dims();
+        let n1 = S1cfNest1::allocate(&mut m, d);
+        assert_eq!(n1.expected().0, n1.expected().1);
+        let comb = S1cfCombined::allocate(&mut m, d);
+        assert_eq!(comb.expected().0, 2 * comb.expected().1);
+        let n2 = S1cfNest2::allocate(&mut m, d);
+        assert_eq!(n2.expected().0, 5 * n2.expected().1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # blas-kernels — the paper's BLAS benchmarks
+//!
+//! Section II of the paper uses *reference* (naive triple-loop) BLAS
+//! kernels to validate memory-traffic measurements — precisely because
+//! their access patterns, unlike vendor libraries', are analyzable. This
+//! crate provides each kernel in two coupled forms:
+//!
+//! * **Numeric** ([`gemm::gemm_ref`], [`gemv::capped_gemv_ref`], …): real
+//!   floating-point computation, unit-tested against naive definitions.
+//!   These establish that the traced loop nests are the real algorithms.
+//! * **Trace** ([`gemm::GemmTrace`], [`gemv::CappedGemvTrace`]): the same
+//!   loop nests emitting their memory accesses into the `p9-memsim`
+//!   hierarchy. Intra-sector repeat accesses are coalesced (a 64-byte
+//!   sector is touched once per pass) — a traffic-exact reduction that
+//!   makes paper-scale problem sizes tractable.
+//!
+//! [`model`] holds the analytic expectations the paper plots (dashed
+//! lines): GEMM `3N²` elements, capped GEMV `M·N + M + N` elements, the
+//! cache-region bounds of Equations 3–4 and the adaptive repetition count
+//! of Equation 5. [`measure`] is the measurement harness: it runs kernels
+//! under a PAPI event set for `Repetitions(N)` repetitions and reports the
+//! per-repetition average, exactly like the paper's experiments.
+
+pub mod gemm;
+pub mod gemv;
+pub mod measure;
+pub mod model;
+
+pub use gemm::{gemm_ref, BatchedGemmTrace, GemmTrace};
+pub use gemv::{capped_gemv_ref, gemv_ref, BatchedCappedGemvTrace, CappedGemvTrace};
+pub use measure::{measure_traffic, MeasureConfig, NestEvents, TrafficSample};
+pub use model::{
+    capped_gemv_expected, gemm_cache_bounds, gemm_expected, repetitions, ExpectedTraffic,
+};

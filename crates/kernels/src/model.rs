@@ -1,0 +1,127 @@
+//! Analytic traffic models: the paper's dashed expectation lines and
+//! equations.
+
+use p9_arch::F64_BYTES;
+
+/// Expected memory traffic of one kernel execution, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpectedTraffic {
+    pub read_bytes: f64,
+    pub write_bytes: f64,
+}
+
+impl ExpectedTraffic {
+    /// Scale for a batch of `threads` independent instances.
+    pub fn batched(self, threads: usize) -> ExpectedTraffic {
+        ExpectedTraffic {
+            read_bytes: self.read_bytes * threads as f64,
+            write_bytes: self.write_bytes * threads as f64,
+        }
+    }
+}
+
+/// Expected traffic of one reference GEMM (`C = A·B`, all `N×N`), assuming
+/// the matrices fit in cache: `3·N²` elements read (A and B once each, one
+/// read-for-ownership of C) and `N²` elements written.
+pub fn gemm_expected(n: u64) -> ExpectedTraffic {
+    let n2 = (n * n) as f64;
+    ExpectedTraffic {
+        read_bytes: 3.0 * n2 * F64_BYTES as f64,
+        write_bytes: n2 * F64_BYTES as f64,
+    }
+}
+
+/// Expected traffic of one capped GEMV (`y_i = Σ_k A[i mod P][k]·x[k]`,
+/// output length `M`, matrix width `N`): `M·N + M + N` elements read and
+/// `M` elements written (Section II-A; the `M` reads for writing `y`
+/// are the hardware's read-per-write).
+pub fn capped_gemv_expected(m: u64, n: u64) -> ExpectedTraffic {
+    ExpectedTraffic {
+        read_bytes: ((m * n + m + n) as f64) * F64_BYTES as f64,
+        write_bytes: (m as f64) * F64_BYTES as f64,
+    }
+}
+
+/// The cache-region bounds of Equations 3 and 4: the problem sizes between
+/// which GEMM measurements are expected to diverge from the in-cache
+/// expectation, for a per-core cache of `cache_bytes`.
+///
+/// * lower (Eq. 3): all three matrices cached — `8·3·N² = cache`;
+/// * upper (Eq. 4): only one matrix cached — `8·N² = cache`.
+///
+/// With the 5 MB slice of the paper: `(467, 809)`.
+pub fn gemm_cache_bounds(cache_bytes: u64) -> (u64, u64) {
+    let c = cache_bytes as f64;
+    (
+        (c / (3.0 * F64_BYTES as f64)).sqrt() as u64,
+        (c / F64_BYTES as f64).sqrt() as u64,
+    )
+}
+
+/// Equation 5: the adaptive repetition count.
+///
+/// ```text
+/// Repetitions(N) = ⌊514 − 0.246·N⌋  for N < 2048,  10 otherwise
+/// ```
+pub fn repetitions(n: u64) -> u32 {
+    if n < 2048 {
+        (514.0 - 0.246 * n as f64).floor() as u32
+    } else {
+        10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_expectation_matches_paper_formula() {
+        let e = gemm_expected(1000);
+        assert_eq!(e.read_bytes, 3.0 * 1.0e6 * 8.0);
+        assert_eq!(e.write_bytes, 1.0e6 * 8.0);
+    }
+
+    #[test]
+    fn capped_gemv_reduces_to_square_gemv() {
+        // For M = N the capped kernel is a plain GEMV: M² + 2M elements.
+        let m = 1280u64;
+        let e = capped_gemv_expected(m, m);
+        assert_eq!(e.read_bytes, ((m * m + 2 * m) * 8) as f64);
+        assert_eq!(e.write_bytes, (m * 8) as f64);
+    }
+
+    #[test]
+    fn equation_3_and_4_bounds() {
+        let (lo, hi) = gemm_cache_bounds(5 * 1024 * 1024);
+        assert_eq!(lo, 467);
+        assert_eq!(hi, 809);
+    }
+
+    #[test]
+    fn equation_5_reference_values() {
+        assert_eq!(repetitions(0), 514);
+        assert_eq!(repetitions(100), 489); // 514 - 24.6 = 489.4
+        assert_eq!(repetitions(1000), 268);
+        assert_eq!(repetitions(2047), 10); // 514 - 503.56 = 10.44
+        assert_eq!(repetitions(2048), 10);
+        assert_eq!(repetitions(100_000), 10);
+    }
+
+    #[test]
+    fn repetitions_monotonically_decrease() {
+        let mut prev = u32::MAX;
+        for n in (0..4096).step_by(64) {
+            let r = repetitions(n);
+            assert!(r <= prev);
+            assert!(r >= 10);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn batched_scaling() {
+        let e = gemm_expected(100).batched(21);
+        assert_eq!(e.read_bytes, 21.0 * 3.0 * 10_000.0 * 8.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! A set-associative, write-back cache over 64-byte sectors.
+//!
+//! The cache is indexed by *sector number* (byte address / 64). Real POWER9
+//! L3 slices hash addresses across sets; we use a multiplicative hash with
+//! Lemire reduction, which both balances arbitrary strides across sets and
+//! supports non-power-of-two set counts (needed for the variable-capacity
+//! borrowed-L3 configuration).
+//!
+//! Replacement is true LRU within a set, implemented by keeping each set's
+//! ways ordered most-recent-first (associativities here are ≤ 20, so the
+//! rotate on hit is a handful of `u64` moves). Each way is a single packed
+//! word — sector number plus a dirty bit — so a set probe touches one
+//! contiguous run of memory; with multi-megabyte simulated caches the tag
+//! array itself is DRAM-resident and this layout halves the simulator's
+//! own memory traffic.
+
+/// Dirty flag, kept in the top bit of the packed way word.
+const DIRTY: u64 = 1 << 63;
+
+/// Sector-number mask (sectors are < 2^63).
+const TAG: u64 = DIRTY - 1;
+
+/// Sentinel for an empty way (all tag bits set; no valid sector).
+const EMPTY: u64 = TAG;
+
+/// Result of inserting a sector into the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Evicted {
+    /// No line was displaced.
+    None,
+    /// A clean sector was displaced.
+    Clean(u64),
+    /// A dirty sector was displaced and must be handled (written back or
+    /// installed in the next level down).
+    Dirty(u64),
+}
+
+/// A set-associative cache of sector numbers.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` packed ways, each set ordered most-recent-first.
+    slots: Vec<u64>,
+}
+
+impl SetAssocCache {
+    /// Build a cache of `capacity_bytes` with `ways` associativity over
+    /// 64-byte sectors. The set count is `capacity / (64 * ways)`, clamped
+    /// to at least one set.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let sets = ((capacity_bytes / (crate::SECTOR_BYTES * ways as u64)) as usize).max(1);
+        SetAssocCache {
+            sets,
+            ways,
+            slots: vec![EMPTY; sets * ways],
+        }
+    }
+
+    /// Construct from an architectural geometry description.
+    pub fn from_geometry(geo: &p9_arch::CacheGeometry) -> Self {
+        Self::new(geo.capacity_bytes, geo.ways)
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * crate::SECTOR_BYTES
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline(always)]
+    fn set_of(&self, sector: u64) -> usize {
+        // Full-avalanche mix (splitmix64 finalizer) before the Lemire
+        // reduction. A bare multiplicative hash is NOT enough here: a
+        // constant-stride sector progression s + k·d maps to the rotation
+        // sequence {k·frac(d·φ)}, and for strides where d·φ is close to a
+        // low-denominator rational the progression piles onto a few sets
+        // (e.g. the paper's N = 448 pencil stride of 112 sectors hits
+        // 112·φ ≈ 63/256). Real L3 slices XOR-fold the address for the
+        // same reason.
+        let mut h = sector;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (((h as u128) * (self.sets as u128)) >> 64) as usize
+    }
+
+    /// Look up `sector`; on hit, refresh LRU and optionally set the dirty
+    /// bit. Returns whether the sector was present.
+    #[inline]
+    pub fn access(&mut self, sector: u64, mark_dirty: bool) -> bool {
+        debug_assert!(sector < TAG);
+        let set = self.set_of(sector);
+        let base = set * self.ways;
+        let ways = &mut self.slots[base..base + self.ways];
+        if let Some(pos) = ways.iter().position(|&w| w & TAG == sector) {
+            let word = ways[pos] | if mark_dirty { DIRTY } else { 0 };
+            // Move to front (most recently used).
+            ways.copy_within(0..pos, 1);
+            ways[0] = word;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Probe without touching LRU or dirty state.
+    #[inline]
+    pub fn contains(&self, sector: u64) -> bool {
+        let set = self.set_of(sector);
+        let base = set * self.ways;
+        self.slots[base..base + self.ways]
+            .iter()
+            .any(|&w| w & TAG == sector)
+    }
+
+    /// Insert `sector` as most-recently-used, evicting the LRU way if the
+    /// set is full. The caller must have established the sector is absent
+    /// (e.g. via a failed [`Self::access`]); inserting a present sector
+    /// would create a duplicate.
+    #[inline]
+    pub fn insert(&mut self, sector: u64, dirty: bool) -> Evicted {
+        debug_assert!(sector < TAG);
+        let set = self.set_of(sector);
+        let base = set * self.ways;
+        let ways = &mut self.slots[base..base + self.ways];
+        debug_assert!(
+            !ways.iter().any(|&w| w & TAG == sector),
+            "inserting sector already present"
+        );
+        let victim = ways[self.ways - 1];
+        ways.copy_within(0..self.ways - 1, 1);
+        ways[0] = sector | if dirty { DIRTY } else { 0 };
+        if victim & TAG == EMPTY {
+            Evicted::None
+        } else if victim & DIRTY != 0 {
+            Evicted::Dirty(victim & TAG)
+        } else {
+            Evicted::Clean(victim & TAG)
+        }
+    }
+
+    /// Insert `sector` at mid-LRU depth instead of MRU — the insertion
+    /// position real caches use for traffic they predict to be streaming
+    /// (e.g. store-allocated write bursts), so it cannot push the whole
+    /// reuse working set out.
+    #[inline]
+    pub fn insert_mid(&mut self, sector: u64, dirty: bool) -> Evicted {
+        debug_assert!(sector < TAG);
+        let set = self.set_of(sector);
+        let base = set * self.ways;
+        let ways = &mut self.slots[base..base + self.ways];
+        debug_assert!(
+            !ways.iter().any(|&w| w & TAG == sector),
+            "inserting sector already present"
+        );
+        let mid = self.ways / 2;
+        let word = sector | if dirty { DIRTY } else { 0 };
+        // Empty ways live at the tail (all other operations preserve
+        // this); with spare capacity nothing may be evicted.
+        match ways.iter().position(|&w| w & TAG == EMPTY) {
+            Some(first_empty) => {
+                let pos = mid.min(first_empty);
+                ways.copy_within(pos..first_empty, pos + 1);
+                ways[pos] = word;
+                Evicted::None
+            }
+            None => {
+                let victim = ways[self.ways - 1];
+                ways.copy_within(mid..self.ways - 1, mid + 1);
+                ways[mid] = word;
+                if victim & DIRTY != 0 {
+                    Evicted::Dirty(victim & TAG)
+                } else {
+                    Evicted::Clean(victim & TAG)
+                }
+            }
+        }
+    }
+
+    /// Set the dirty bit of `sector` if present, without refreshing its
+    /// LRU position (a writeback merge, not a use).
+    #[inline]
+    pub fn touch_dirty(&mut self, sector: u64) -> bool {
+        let set = self.set_of(sector);
+        let base = set * self.ways;
+        let ways = &mut self.slots[base..base + self.ways];
+        if let Some(pos) = ways.iter().position(|&w| w & TAG == sector) {
+            ways[pos] |= DIRTY;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `sector` if present, returning whether it was dirty.
+    #[inline]
+    pub fn remove(&mut self, sector: u64) -> Option<bool> {
+        let set = self.set_of(sector);
+        let base = set * self.ways;
+        let ways = &mut self.slots[base..base + self.ways];
+        let pos = ways.iter().position(|&w| w & TAG == sector)?;
+        let was_dirty = ways[pos] & DIRTY != 0;
+        ways.copy_within(pos + 1.., pos);
+        ways[self.ways - 1] = EMPTY;
+        Some(was_dirty)
+    }
+
+    /// Drop every resident sector, invoking `on_dirty` for each dirty one.
+    pub fn flush(&mut self, mut on_dirty: impl FnMut(u64)) {
+        for w in self.slots.iter_mut() {
+            if *w & TAG != EMPTY && *w & DIRTY != 0 {
+                on_dirty(*w & TAG);
+            }
+            *w = EMPTY;
+        }
+    }
+
+    /// Number of resident sectors (O(capacity); for tests/diagnostics).
+    pub fn resident(&self) -> usize {
+        self.slots.iter().filter(|&&w| w & TAG != EMPTY).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize, sets_times_ways_sectors: u64) -> SetAssocCache {
+        SetAssocCache::new(sets_times_ways_sectors * crate::SECTOR_BYTES, ways)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(4, 16);
+        assert!(!c.access(42, false));
+        assert_eq!(c.insert(42, false), Evicted::None);
+        assert!(c.access(42, false));
+        assert!(c.contains(42));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Single set, 2 ways: fill with a,b; touch a; insert c -> b evicted.
+        let mut c = tiny(2, 2);
+        assert_eq!(c.sets(), 1);
+        c.insert(1, false);
+        c.insert(2, false);
+        assert!(c.access(1, false));
+        match c.insert(3, false) {
+            Evicted::Clean(t) => assert_eq!(t, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn dirty_state_tracked_through_lru_moves() {
+        let mut c = tiny(4, 4);
+        c.insert(10, false);
+        c.insert(11, false);
+        c.insert(12, false);
+        assert!(c.access(10, true)); // dirty now
+        assert!(c.access(11, false));
+        assert!(c.access(12, false));
+        // Fill the set; 10 is LRU and dirty.
+        c.insert(13, false);
+        match c.insert(14, false) {
+            Evicted::Dirty(t) => assert_eq!(t, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_reports_dirty_and_compacts() {
+        let mut c = tiny(4, 4);
+        c.insert(7, true);
+        c.insert(8, false);
+        assert_eq!(c.remove(7), Some(true));
+        assert_eq!(c.remove(7), None);
+        assert!(c.contains(8));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn flush_reports_only_dirty() {
+        let mut c = tiny(4, 8);
+        c.insert(1, true);
+        c.insert(2, false);
+        c.insert(3, true);
+        let mut dirty = Vec::new();
+        c.flush(|s| dirty.push(s));
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![1, 3]);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        // 64 sectors capacity: inserting 65 distinct sectors must evict >= 1.
+        let mut c = tiny(4, 64);
+        let mut evictions = 0;
+        for s in 0..65 {
+            if !c.access(s, false) {
+                match c.insert(s, false) {
+                    Evicted::None => {}
+                    _ => evictions += 1,
+                }
+            }
+        }
+        assert!(evictions >= 1);
+        assert!(c.resident() <= 64);
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let c = SetAssocCache::from_geometry(&p9_arch::CacheGeometry::p9_l1d());
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+        // 64 B sectors: twice the line count of the 128 B-line geometry.
+        assert_eq!(c.sets() * c.ways(), 512);
+    }
+
+    #[test]
+    fn dirty_bit_survives_access_without_mark() {
+        let mut c = tiny(4, 4);
+        c.insert(5, true);
+        assert!(c.access(5, false)); // must not clear dirtiness
+        let mut dirty = Vec::new();
+        c.flush(|s| dirty.push(s));
+        assert_eq!(dirty, vec![5]);
+    }
+
+    #[test]
+    fn mark_dirty_on_access_upgrades() {
+        let mut c = tiny(4, 4);
+        c.insert(6, false);
+        assert!(c.access(6, true));
+        assert_eq!(c.remove(6), Some(true));
+    }
+}

@@ -1,0 +1,103 @@
+//! Privilege model for nest-counter access.
+//!
+//! Nest counters are a socket-wide shared resource: on real systems only
+//! privileged contexts may program and read them. On Summit ordinary users
+//! have no such privilege — which is the entire reason the PCP daemon (which
+//! *does*) exists. On the Tellico testbed the study had elevated privileges
+//! and read the counters directly.
+//!
+//! [`PrivilegeToken`]s are unforgeable capabilities handed out by the
+//! simulated machine according to the system being modeled; the direct
+//! `perf_uncore` path requires one, while the PCP daemon holds its own.
+
+use core::fmt;
+
+/// Privilege level of an execution context.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrivilegeLevel {
+    /// Ordinary user: no direct nest access (Summit users).
+    User,
+    /// Elevated: may program and read nest PMUs directly (Tellico, or the
+    /// PMCD daemon itself).
+    Elevated,
+}
+
+/// An unforgeable witness of elevated privilege.
+///
+/// The field is private; the only constructors are
+/// [`PrivilegeToken::elevated`] (crate-external callers receive tokens from
+/// the machine, which decides per [`PrivilegeLevel`]).
+#[derive(Clone, Debug)]
+pub struct PrivilegeToken {
+    level: PrivilegeLevel,
+}
+
+impl PrivilegeToken {
+    /// Mint an elevated token. Intended for the simulated machine and the
+    /// PMCD daemon; application code should obtain tokens through
+    /// [`crate::machine::SimMachine::privilege_token`].
+    pub fn elevated() -> Self {
+        PrivilegeToken {
+            level: PrivilegeLevel::Elevated,
+        }
+    }
+
+    /// An explicitly unprivileged token (useful to exercise denial paths).
+    pub fn user() -> Self {
+        PrivilegeToken {
+            level: PrivilegeLevel::User,
+        }
+    }
+
+    pub fn level(&self) -> PrivilegeLevel {
+        self.level
+    }
+
+    /// Check that the token grants elevated access.
+    pub fn require_elevated(&self) -> Result<(), PrivilegeError> {
+        match self.level {
+            PrivilegeLevel::Elevated => Ok(()),
+            PrivilegeLevel::User => Err(PrivilegeError::PermissionDenied),
+        }
+    }
+}
+
+/// Access-control failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrivilegeError {
+    /// The context lacks the privilege needed for direct nest access
+    /// (mirrors `perf_event_open` returning `EACCES` for uncore PMUs).
+    PermissionDenied,
+}
+
+impl fmt::Display for PrivilegeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivilegeError::PermissionDenied => {
+                write!(f, "permission denied: nest counters require elevated privileges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrivilegeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elevation_checks() {
+        assert!(PrivilegeToken::elevated().require_elevated().is_ok());
+        assert_eq!(
+            PrivilegeToken::user().require_elevated(),
+            Err(PrivilegeError::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = PrivilegeError::PermissionDenied;
+        assert!(e.to_string().contains("elevated"));
+    }
+}

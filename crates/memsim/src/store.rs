@@ -1,0 +1,312 @@
+//! Per-core store handling: write-combining and cache-bypassing stores.
+//!
+//! The paper's key observation (Section IV-A) is that POWER9 stores to
+//! lines that are *not* cached can go straight to memory without the usual
+//! read-for-ownership, **unless** the core has detected a strided data
+//! stream: "In the presence of a strided data stream, the writes to
+//! variables will not bypass the cache, so they will be read by the cache.
+//! In the absence of such a stream, the writes indeed bypass the cache."
+//! `dcbtst` software prefetch (GCC `-fprefetch-loop-arrays`) likewise forces
+//! the target into the cache, re-introducing the read.
+//!
+//! This module models the mechanism with a small set of write-combining
+//! buffers (WCBs) at 64-byte sector granularity. Stores **write-allocate
+//! by default**; only streaming stores — stores belonging to a confirmed
+//! sequential store stream (store-gather), on a core with no active
+//! stride-N stream and no software-prefetch hint — are eligible to bypass
+//! (the hierarchy makes that decision and passes `bypass_allowed` in):
+//!
+//! * A store that **hits** in the cache simply dirties the line — no memory
+//!   traffic now; the writeback happens at eviction.
+//! * A store that **misses** while bypassing is allowed opens/extends a WCB
+//!   entry. When all 64 bytes of the sector have been written, the entry
+//!   drains to memory as one 64-byte write with **no read**.
+//! * A store that misses while bypassing is *not* allowed takes the
+//!   allocate path: the hierarchy reads the sector (the read-per-write) and
+//!   the store dirties it in cache.
+//! * WCB entries evicted before filling (capacity pressure or an explicit
+//!   [`StoreEngine::drain`]) cannot write a partial 64-byte granule
+//!   directly; the memory controller performs a read-modify-write, costing
+//!   one read and one write transaction.
+
+/// Number of write-combining buffer entries per core.
+pub const WCB_ENTRIES: usize = 16;
+
+#[derive(Clone, Copy, Debug)]
+struct WcbEntry {
+    sector: u64,
+    /// Bitmask of written 8-byte chunks (bit i = bytes [8i, 8i+8)).
+    written: u8,
+    touched: u64,
+    valid: bool,
+}
+
+impl WcbEntry {
+    const INVALID: WcbEntry = WcbEntry {
+        sector: 0,
+        written: 0,
+        touched: 0,
+        valid: false,
+    };
+}
+
+/// What the hierarchy must do to complete a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Absorbed into a WCB; no traffic yet.
+    Buffered,
+    /// A full sector drained to memory: one 64-byte write, no read.
+    BypassWrite(u64),
+    /// A partial sector drained: read-modify-write at the controller
+    /// (one 64-byte read + one 64-byte write).
+    PartialWrite(u64),
+    /// The sector must be allocated in cache (read-for-ownership) and the
+    /// store completed there.
+    Allocate(u64),
+}
+
+/// The per-core store engine.
+#[derive(Clone, Debug)]
+pub struct StoreEngine {
+    wcb: [WcbEntry; WCB_ENTRIES],
+    clock: u64,
+}
+
+impl Default for StoreEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreEngine {
+    pub fn new() -> Self {
+        StoreEngine {
+            wcb: [WcbEntry::INVALID; WCB_ENTRIES],
+            clock: 0,
+        }
+    }
+
+    /// Process a store of `len` bytes at `addr` **that missed the cache**.
+    ///
+    /// `bypass_allowed` reflects the core state (no stride-N stream, no
+    /// software-prefetch hint on this store). At most two outcomes are
+    /// produced per call (the store itself plus one displaced WCB entry);
+    /// they are appended to `out`.
+    pub fn store_miss(
+        &mut self,
+        addr: u64,
+        len: u64,
+        bypass_allowed: bool,
+        out: &mut Vec<StoreOutcome>,
+    ) {
+        self.clock += 1;
+        if !bypass_allowed {
+            // Allocate path: any WCB entry for this sector is subsumed by
+            // the cache line (its bytes merge into the allocated line).
+            if let Some(i) = self.find(crate::sector_of(addr)) {
+                self.wcb[i].valid = false;
+            }
+            out.push(StoreOutcome::Allocate(crate::sector_of(addr)));
+            return;
+        }
+
+        let first = crate::sector_of(addr);
+        let last = crate::sector_of(addr + len - 1);
+        for sector in first..=last {
+            let lo = addr.max(sector * crate::SECTOR_BYTES);
+            let hi = (addr + len).min((sector + 1) * crate::SECTOR_BYTES);
+            self.buffer_write(sector, lo, hi, out);
+        }
+    }
+
+    fn buffer_write(&mut self, sector: u64, lo: u64, hi: u64, out: &mut Vec<StoreOutcome>) {
+        let mask = chunk_mask(lo, hi);
+        let idx = match self.find(sector) {
+            Some(i) => i,
+            None => {
+                let i = self.victim();
+                if self.wcb[i].valid {
+                    // Displace a partial entry: RMW at the controller.
+                    out.push(StoreOutcome::PartialWrite(self.wcb[i].sector));
+                }
+                self.wcb[i] = WcbEntry {
+                    sector,
+                    written: 0,
+                    touched: self.clock,
+                    valid: true,
+                };
+                i
+            }
+        };
+        let e = &mut self.wcb[idx];
+        e.written |= mask;
+        e.touched = self.clock;
+        if e.written == 0xFF {
+            e.valid = false;
+            out.push(StoreOutcome::BypassWrite(sector));
+        } else {
+            out.push(StoreOutcome::Buffered);
+        }
+    }
+
+    fn find(&self, sector: u64) -> Option<usize> {
+        self.wcb
+            .iter()
+            .position(|e| e.valid && e.sector == sector)
+    }
+
+    fn victim(&self) -> usize {
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (i, e) in self.wcb.iter().enumerate() {
+            if !e.valid {
+                return i;
+            }
+            if e.touched < oldest {
+                oldest = e.touched;
+                victim = i;
+            }
+        }
+        victim
+    }
+
+    /// Drop the WCB entry for `sector` (the sector was just allocated in
+    /// cache by another path, e.g. a load).
+    pub fn invalidate(&mut self, sector: u64) {
+        if let Some(i) = self.find(sector) {
+            self.wcb[i].valid = false;
+        }
+    }
+
+    /// Flush every pending entry (end of a kernel / measurement region).
+    /// Partial entries cost a read-modify-write each.
+    pub fn drain(&mut self, out: &mut Vec<StoreOutcome>) {
+        for e in self.wcb.iter_mut() {
+            if e.valid {
+                e.valid = false;
+                if e.written == 0xFF {
+                    out.push(StoreOutcome::BypassWrite(e.sector));
+                } else {
+                    out.push(StoreOutcome::PartialWrite(e.sector));
+                }
+            }
+        }
+    }
+}
+
+/// Bitmask of the 8-byte chunks covered by byte range [lo, hi) within the
+/// sector containing `lo`.
+fn chunk_mask(lo: u64, hi: u64) -> u8 {
+    debug_assert!(hi > lo && hi - lo <= crate::SECTOR_BYTES);
+    let off = (lo % crate::SECTOR_BYTES) as u32;
+    let len = (hi - lo) as u32;
+    let first_chunk = off / 8;
+    let last_chunk = (off + len - 1) / 8;
+    let n = last_chunk - first_chunk + 1;
+    (((1u16 << n) - 1) as u8) << first_chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes(engine: &mut StoreEngine, stores: &[(u64, u64)], bypass: bool) -> Vec<StoreOutcome> {
+        let mut out = Vec::new();
+        for &(addr, len) in stores {
+            engine.store_miss(addr, len, bypass, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn chunk_mask_math() {
+        assert_eq!(chunk_mask(0, 8), 0b0000_0001);
+        assert_eq!(chunk_mask(0, 64), 0xFF);
+        assert_eq!(chunk_mask(56, 64), 0b1000_0000);
+        assert_eq!(chunk_mask(8, 24), 0b0000_0110);
+        // Range not aligned to chunks still covers the chunks it touches.
+        assert_eq!(chunk_mask(4, 12), 0b0000_0011);
+    }
+
+    #[test]
+    fn sequential_full_sector_bypasses_with_single_write() {
+        let mut e = StoreEngine::new();
+        // Eight 8-byte stores fill sector 0 -> exactly one BypassWrite(0).
+        let stores: Vec<(u64, u64)> = (0..8).map(|i| (i * 8, 8)).collect();
+        let out = outcomes(&mut e, &stores, true);
+        let writes: Vec<_> = out
+            .iter()
+            .filter(|o| matches!(o, StoreOutcome::BypassWrite(_)))
+            .collect();
+        assert_eq!(writes.len(), 1);
+        assert!(matches!(writes[0], StoreOutcome::BypassWrite(0)));
+        assert!(!out.iter().any(|o| matches!(o, StoreOutcome::Allocate(_))));
+    }
+
+    #[test]
+    fn allocate_when_bypass_disallowed() {
+        let mut e = StoreEngine::new();
+        let out = outcomes(&mut e, &[(0, 8)], false);
+        assert_eq!(out, vec![StoreOutcome::Allocate(0)]);
+    }
+
+    #[test]
+    fn partial_sector_drain_costs_rmw() {
+        let mut e = StoreEngine::new();
+        let mut out = outcomes(&mut e, &[(0, 8)], true);
+        e.drain(&mut out);
+        assert!(out.contains(&StoreOutcome::PartialWrite(0)));
+    }
+
+    #[test]
+    fn wcb_displacement_flushes_partial() {
+        let mut e = StoreEngine::new();
+        // Touch one chunk in each of WCB_ENTRIES+1 distinct sectors.
+        let stores: Vec<(u64, u64)> = (0..=WCB_ENTRIES as u64)
+            .map(|i| (i * crate::SECTOR_BYTES, 8))
+            .collect();
+        let out = outcomes(&mut e, &stores, true);
+        let partials = out
+            .iter()
+            .filter(|o| matches!(o, StoreOutcome::PartialWrite(_)))
+            .count();
+        assert_eq!(partials, 1);
+    }
+
+    #[test]
+    fn store_spanning_two_sectors() {
+        let mut e = StoreEngine::new();
+        // 16-byte store at offset 56 crosses into sector 1.
+        let out = outcomes(&mut e, &[(56, 16)], true);
+        // Nothing full yet; both sectors buffered.
+        assert!(out.iter().all(|o| matches!(o, StoreOutcome::Buffered)));
+        let mut drained = Vec::new();
+        e.drain(&mut drained);
+        assert_eq!(drained.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_pending_entry() {
+        let mut e = StoreEngine::new();
+        let mut out = Vec::new();
+        e.store_miss(0, 8, true, &mut out);
+        e.invalidate(0);
+        let mut drained = Vec::new();
+        e.drain(&mut drained);
+        assert!(drained.is_empty());
+    }
+
+    #[test]
+    fn allocate_subsumes_existing_buffer() {
+        let mut e = StoreEngine::new();
+        let mut out = Vec::new();
+        e.store_miss(0, 8, true, &mut out);
+        // Stride stream appears; next store to same sector allocates and
+        // the WCB entry must vanish (no later phantom partial write).
+        e.store_miss(8, 8, false, &mut out);
+        let mut drained = Vec::new();
+        e.drain(&mut drained);
+        assert!(drained.is_empty());
+        assert!(out.contains(&StoreOutcome::Allocate(0)));
+    }
+}

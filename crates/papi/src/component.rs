@@ -1,0 +1,51 @@
+//! The component abstraction.
+//!
+//! A component owns one measurement backend and can instantiate *groups*:
+//! the per-EventSet native control state for the subset of the set's events
+//! that belong to this component. Grouping matters for efficiency and
+//! fidelity — e.g. the PCP component fetches all of a group's metrics in a
+//! single daemon round-trip, like the real component batches a `pmFetch`.
+
+use crate::error::PapiError;
+use crate::event::EventName;
+
+/// Description of one available native event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventInfo {
+    /// Full native event name, ready for [`EventName::parse`].
+    pub name: String,
+    /// Units of the value ("byte", "mW", "32-bit words", …).
+    pub units: &'static str,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// Per-EventSet native state for one component's events.
+pub trait EventGroup: Send {
+    /// Arm the group: take baseline snapshots, inject start overhead.
+    fn start(&mut self) -> Result<(), PapiError>;
+
+    /// Read values accumulated since `start` (or the last `reset`),
+    /// in the order the group's events were given at creation.
+    fn read(&mut self) -> Result<Vec<i64>, PapiError>;
+
+    /// Re-zero the accumulation baseline.
+    fn reset(&mut self) -> Result<(), PapiError>;
+
+    /// Disarm the group and return the final values (injects stop
+    /// overhead where the backend models it).
+    fn stop(&mut self) -> Result<Vec<i64>, PapiError>;
+}
+
+/// A measurement backend.
+pub trait Component: Send + Sync {
+    /// Component name as used in event-string prefixes.
+    fn name(&self) -> &'static str;
+
+    /// Enumerate the native events this component exposes.
+    fn list_events(&self) -> Vec<EventInfo>;
+
+    /// Create the native state for `events` (all guaranteed to carry this
+    /// component's prefix).
+    fn create_group(&self, events: &[EventName]) -> Result<Box<dyn EventGroup>, PapiError>;
+}

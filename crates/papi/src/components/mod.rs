@@ -1,0 +1,14 @@
+//! The measurement components: the four the paper uses (Tables I and II)
+//! plus the socket-aggregated `core` PMU view.
+
+pub mod core;
+pub mod infiniband;
+pub mod nvml;
+pub mod pcp;
+pub mod uncore;
+
+pub use self::core::CoreComponent;
+pub use infiniband::IbComponent;
+pub use nvml::NvmlComponent;
+pub use pcp::PcpComponent;
+pub use uncore::UncoreComponent;

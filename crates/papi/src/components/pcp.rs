@@ -1,0 +1,289 @@
+//! The PCP component: nest counters via the Performance Co-Pilot daemon.
+//!
+//! This is the path Summit users take — no privileges needed; the
+//! indirection layer (one `pmFetch` round-trip per group read, plus the
+//! measurement's own memory footprint at start/stop) is modeled and
+//! charged to the measuring context.
+
+use std::sync::Arc;
+
+use crate::component::{Component, EventGroup, EventInfo};
+use crate::error::PapiError;
+use crate::event::EventName;
+use p9_memsim::machine::SocketShared;
+use pcp_sim::{InstanceId, MetricId, PcpContext, PcpError, Pmns};
+
+/// The `pcp` component.
+pub struct PcpComponent {
+    ctx: Arc<PcpContext>,
+    pmns: Pmns,
+    /// Socket-shared handles by socket index, for start/stop overhead.
+    sockets: Vec<Arc<SocketShared>>,
+}
+
+impl PcpComponent {
+    /// Wire the component to a connected client context. `pmns` must match
+    /// the daemon's namespace; `sockets` are the node's sockets in index
+    /// order.
+    pub fn new(ctx: PcpContext, pmns: Pmns, sockets: Vec<Arc<SocketShared>>) -> Self {
+        PcpComponent {
+            ctx: Arc::new(ctx),
+            pmns,
+            sockets,
+        }
+    }
+
+    fn resolve(&self, ev: &EventName) -> Result<(MetricId, InstanceId), PapiError> {
+        // payload = "<metric.path>.value:cpuNN"
+        let payload = ev.payload();
+        let (metric, inst) = match payload.rsplit_once(":cpu") {
+            Some((m, cpu)) => {
+                let n: u32 = cpu
+                    .parse()
+                    .map_err(|_| PapiError::Invalid(format!("bad cpu qualifier in {ev}")))?;
+                (m, InstanceId(n))
+            }
+            None => {
+                return Err(PapiError::Invalid(format!(
+                    "pcp event {ev} needs a :cpuNN instance qualifier"
+                )))
+            }
+        };
+        let id = self
+            .ctx
+            .pm_lookup_name(metric)
+            .map_err(|e| match e {
+                PcpError::NoSuchMetric(m) => PapiError::NoSuchEvent(m),
+                other => PapiError::System(other.to_string()),
+            })?;
+        Ok((id, inst))
+    }
+}
+
+impl Component for PcpComponent {
+    fn name(&self) -> &'static str {
+        "pcp"
+    }
+
+    fn list_events(&self) -> Vec<EventInfo> {
+        let mut out = Vec::new();
+        for socket in 0..self.sockets.len() {
+            let cpu = self.pmns.instance_of_socket(socket).0;
+            for name in self.pmns.children("") {
+                out.push(EventInfo {
+                    name: format!("pcp:::{name}:cpu{cpu}"),
+                    units: "byte",
+                    description: format!("nest memory traffic, socket {socket}, via PCP"),
+                });
+            }
+        }
+        out
+    }
+
+    fn create_group(&self, events: &[EventName]) -> Result<Box<dyn EventGroup>, PapiError> {
+        let mut requests = Vec::with_capacity(events.len());
+        let mut touch_sockets: Vec<usize> = Vec::new();
+        for ev in events {
+            let (id, inst) = self.resolve(ev)?;
+            if let Some(s) = self.pmns.socket_of_instance(inst) {
+                if !touch_sockets.contains(&s) {
+                    touch_sockets.push(s);
+                }
+            }
+            requests.push((id, inst));
+        }
+        let touch = touch_sockets
+            .into_iter()
+            .map(|s| Arc::clone(&self.sockets[s]))
+            .collect();
+        Ok(Box::new(PcpGroup {
+            ctx: Arc::clone(&self.ctx),
+            requests,
+            touch,
+            baseline: None,
+        }))
+    }
+}
+
+struct PcpGroup {
+    ctx: Arc<PcpContext>,
+    requests: Vec<(MetricId, InstanceId)>,
+    /// Sockets whose counters observe this measurement's own footprint.
+    touch: Vec<Arc<SocketShared>>,
+    baseline: Option<Vec<u64>>,
+}
+
+impl PcpGroup {
+    fn fetch(&self) -> Result<Vec<u64>, PapiError> {
+        self.ctx
+            .pm_fetch(&self.requests)
+            .map_err(|e| PapiError::System(e.to_string()))
+    }
+
+    fn delta(&self, now: &[u64]) -> Result<Vec<i64>, PapiError> {
+        let base = self.baseline.as_ref().ok_or(PapiError::NotRunning)?;
+        Ok(now
+            .iter()
+            .zip(base)
+            .map(|(&n, &b)| n.wrapping_sub(b) as i64)
+            .collect())
+    }
+}
+
+impl EventGroup for PcpGroup {
+    fn start(&mut self) -> Result<(), PapiError> {
+        if self.baseline.is_some() {
+            return Err(PapiError::IsRunning);
+        }
+        self.baseline = Some(self.fetch()?);
+        // The start path's own memory footprint lands *inside* the
+        // measured window (the baseline was read before the call returns).
+        for s in &self.touch {
+            s.measurement_touch();
+        }
+        Ok(())
+    }
+
+    fn read(&mut self) -> Result<Vec<i64>, PapiError> {
+        let now = self.fetch()?;
+        self.delta(&now)
+    }
+
+    fn reset(&mut self) -> Result<(), PapiError> {
+        if self.baseline.is_none() {
+            return Err(PapiError::NotRunning);
+        }
+        self.baseline = Some(self.fetch()?);
+        Ok(())
+    }
+
+    fn stop(&mut self) -> Result<Vec<i64>, PapiError> {
+        // The stop path's footprint precedes the final counter read.
+        for s in &self.touch {
+            s.measurement_touch();
+        }
+        let now = self.fetch()?;
+        let vals = self.delta(&now)?;
+        self.baseline = None;
+        Ok(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_arch::Machine;
+    use p9_memsim::{Direction, SimMachine};
+    use pcp_sim::{Pmcd, PmcdConfig};
+
+    fn setup() -> (SimMachine, Pmcd, PcpComponent) {
+        let m = SimMachine::quiet(Machine::summit(), 11);
+        let pmns = Pmns::for_machine(m.arch());
+        let sockets: Vec<_> = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
+        let d = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default());
+        let ctx = PcpContext::connect(d.handle(), Some(m.socket_shared(0)));
+        let c = PcpComponent::new(ctx, pmns, sockets);
+        (m, d, c)
+    }
+
+    #[test]
+    fn group_measures_deltas() {
+        let (m, _d, comp) = setup();
+        let events = [
+            EventName::parse(
+                "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+            )
+            .unwrap(),
+            EventName::parse(
+                "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+            )
+            .unwrap(),
+        ];
+        let mut g = comp.create_group(&events).unwrap();
+        // Pre-start traffic must not be counted.
+        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        g.start().unwrap();
+        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        m.socket_shared(0).counters().record_sector(8, Direction::Read);
+        let v = g.read().unwrap();
+        assert_eq!(v, vec![128, 0]);
+        let v = g.stop().unwrap();
+        assert_eq!(v, vec![128, 0]);
+    }
+
+    #[test]
+    fn reset_rebaselines() {
+        let (m, _d, comp) = setup();
+        let ev = [EventName::parse(
+            "pcp:::perfevent.hwcounters.nest_mba2_imc.PM_MBA2_WRITE_BYTES.value:cpu87",
+        )
+        .unwrap()];
+        let mut g = comp.create_group(&ev).unwrap();
+        g.start().unwrap();
+        m.socket_shared(0).counters().record_sector(2, Direction::Write);
+        g.reset().unwrap();
+        assert_eq!(g.read().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let (_m, _d, comp) = setup();
+        let ev = [EventName::parse(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+        )
+        .unwrap()];
+        let mut g = comp.create_group(&ev).unwrap();
+        assert_eq!(g.read().unwrap_err(), PapiError::NotRunning);
+        g.start().unwrap();
+        assert_eq!(g.start().unwrap_err(), PapiError::IsRunning);
+        g.stop().unwrap();
+        assert_eq!(g.stop().unwrap_err(), PapiError::NotRunning);
+    }
+
+    #[test]
+    fn bad_events_rejected() {
+        let (_m, _d, comp) = setup();
+        let no_cpu = EventName::parse(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value",
+        )
+        .unwrap();
+        assert!(matches!(
+            comp.create_group(&[no_cpu]),
+            Err(PapiError::Invalid(_))
+        ));
+        let unknown =
+            EventName::parse("pcp:::perfevent.hwcounters.bogus.value:cpu87").unwrap();
+        assert!(matches!(
+            comp.create_group(&[unknown]),
+            Err(PapiError::NoSuchEvent(_))
+        ));
+    }
+
+    #[test]
+    fn second_socket_instance_reads_its_own_counters() {
+        let (m, _d, comp) = setup();
+        let ev = [EventName::parse(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu175",
+        )
+        .unwrap()];
+        let mut g = comp.create_group(&ev).unwrap();
+        g.start().unwrap();
+        m.socket_shared(1).counters().record_sector(0, Direction::Read);
+        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        assert_eq!(g.read().unwrap(), vec![64]);
+    }
+
+    #[test]
+    fn list_events_covers_both_sockets() {
+        let (_m, _d, comp) = setup();
+        let evs = comp.list_events();
+        assert_eq!(evs.len(), 32); // 16 metrics x 2 sockets
+        assert!(evs.iter().any(|e| e.name.ends_with(":cpu87")));
+        assert!(evs.iter().any(|e| e.name.ends_with(":cpu175")));
+        // Every listed event must parse and resolve.
+        for e in evs {
+            let name = EventName::parse(&e.name).unwrap();
+            assert!(comp.create_group(&[name]).is_ok(), "{}", e.name);
+        }
+    }
+}

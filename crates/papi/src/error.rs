@@ -1,0 +1,66 @@
+//! PAPI-style error codes.
+
+use core::fmt;
+
+/// Errors returned by the middleware, mirroring PAPI's `PAPI_E*` codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PapiError {
+    /// `PAPI_ENOEVNT`: the event name does not resolve.
+    NoSuchEvent(String),
+    /// `PAPI_ENOCMP`: no component claims the event's prefix.
+    NoSuchComponent(String),
+    /// `PAPI_ECMP`: the component is present but disabled (e.g. lacking
+    /// privileges), with the reason recorded at init.
+    ComponentDisabled {
+        component: String,
+        reason: String,
+    },
+    /// `PAPI_EPERM`: operation requires privileges the context lacks.
+    Permission(String),
+    /// `PAPI_EISRUN`: the event set is already running.
+    IsRunning,
+    /// `PAPI_ENOTRUN`: the event set is not running.
+    NotRunning,
+    /// `PAPI_EINVAL`: malformed event string or invalid argument.
+    Invalid(String),
+    /// `PAPI_ESYS`: a backend failed (daemon gone, device lost…).
+    System(String),
+}
+
+impl fmt::Display for PapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PapiError::NoSuchEvent(e) => write!(f, "PAPI_ENOEVNT: no such event: {e}"),
+            PapiError::NoSuchComponent(c) => {
+                write!(f, "PAPI_ENOCMP: no such component: {c}")
+            }
+            PapiError::ComponentDisabled { component, reason } => {
+                write!(f, "PAPI_ECMP: component {component} disabled: {reason}")
+            }
+            PapiError::Permission(m) => write!(f, "PAPI_EPERM: {m}"),
+            PapiError::IsRunning => write!(f, "PAPI_EISRUN: event set already running"),
+            PapiError::NotRunning => write!(f, "PAPI_ENOTRUN: event set not running"),
+            PapiError::Invalid(m) => write!(f, "PAPI_EINVAL: {m}"),
+            PapiError::System(m) => write!(f, "PAPI_ESYS: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PapiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_names() {
+        assert!(PapiError::NoSuchEvent("x".into()).to_string().contains("ENOEVNT"));
+        assert!(PapiError::IsRunning.to_string().contains("EISRUN"));
+        assert!(PapiError::NotRunning.to_string().contains("ENOTRUN"));
+        let e = PapiError::ComponentDisabled {
+            component: "perf_uncore".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("perf_uncore"));
+    }
+}

@@ -1,0 +1,139 @@
+//! PAPI native-event name grammar.
+//!
+//! Three syntactic forms appear in the paper:
+//!
+//! * `component:::payload` — explicit component prefix, e.g.
+//!   `pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87`,
+//!   `nvml:::Tesla_V100-SXM2-16GB:device_0:power`,
+//!   `infiniband:::mlx5_0_1_ext:port_recv_data`.
+//! * `pmu::event:qual=val` — perf-style uncore events with an implicit
+//!   component, e.g. `power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0`; these
+//!   route to the `perf_uncore` component.
+//! * Bare names (PAPI presets) are not used by the paper and are rejected.
+
+use crate::error::PapiError;
+
+/// Name of the component that handles perf-style `pmu::event` strings.
+pub const PERF_UNCORE_COMPONENT: &str = "perf_uncore";
+
+/// A parsed native-event name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventName {
+    raw: String,
+    component: String,
+    payload: String,
+}
+
+impl EventName {
+    /// Parse an event string.
+    pub fn parse(raw: &str) -> Result<EventName, PapiError> {
+        if raw.is_empty() {
+            return Err(PapiError::Invalid("empty event name".into()));
+        }
+        if let Some((comp, payload)) = raw.split_once(":::") {
+            if comp.is_empty() || payload.is_empty() {
+                return Err(PapiError::Invalid(format!("malformed event: {raw}")));
+            }
+            return Ok(EventName {
+                raw: raw.to_owned(),
+                component: comp.to_owned(),
+                payload: payload.to_owned(),
+            });
+        }
+        if raw.contains("::") {
+            // perf-style `pmu::event[:qualifiers]`.
+            return Ok(EventName {
+                raw: raw.to_owned(),
+                component: PERF_UNCORE_COMPONENT.to_owned(),
+                payload: raw.to_owned(),
+            });
+        }
+        Err(PapiError::NoSuchEvent(format!(
+            "{raw} (presets are not supported; use component:::event syntax)"
+        )))
+    }
+
+    /// The full original string.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// The component that should resolve this event.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// The component-specific remainder.
+    pub fn payload(&self) -> &str {
+        &self.payload
+    }
+
+    /// Split the payload's trailing `:qualifier` suffixes off (used by
+    /// components whose payloads embed colons of their own take care).
+    pub fn payload_parts(&self) -> Vec<&str> {
+        self.payload.split(':').collect()
+    }
+}
+
+impl std::fmt::Display for EventName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pcp_form() {
+        let e = EventName::parse(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+        )
+        .unwrap();
+        assert_eq!(e.component(), "pcp");
+        assert_eq!(
+            e.payload(),
+            "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87"
+        );
+    }
+
+    #[test]
+    fn parses_perf_uncore_form() {
+        let e = EventName::parse("power9_nest_mba3::PM_MBA3_WRITE_BYTES:cpu=0").unwrap();
+        assert_eq!(e.component(), PERF_UNCORE_COMPONENT);
+        assert_eq!(e.payload(), "power9_nest_mba3::PM_MBA3_WRITE_BYTES:cpu=0");
+    }
+
+    #[test]
+    fn parses_nvml_and_ib_forms() {
+        let e = EventName::parse("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+        assert_eq!(e.component(), "nvml");
+        assert_eq!(e.payload_parts(), vec!["Tesla_V100-SXM2-16GB", "device_0", "power"]);
+        let e = EventName::parse("infiniband:::mlx5_0_1_ext:port_recv_data").unwrap();
+        assert_eq!(e.component(), "infiniband");
+    }
+
+    #[test]
+    fn rejects_presets_and_malformed() {
+        assert!(matches!(
+            EventName::parse("PAPI_TOT_CYC"),
+            Err(PapiError::NoSuchEvent(_))
+        ));
+        assert!(matches!(EventName::parse(""), Err(PapiError::Invalid(_))));
+        assert!(matches!(
+            EventName::parse(":::x"),
+            Err(PapiError::Invalid(_))
+        ));
+        assert!(matches!(
+            EventName::parse("pcp:::"),
+            Err(PapiError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = "nvml:::Tesla_V100-SXM2-16GB:device_0:power";
+        assert_eq!(EventName::parse(s).unwrap().to_string(), s);
+    }
+}

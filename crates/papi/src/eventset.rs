@@ -1,0 +1,211 @@
+//! EventSets: the user-facing start/stop/read unit.
+//!
+//! An EventSet holds events from *any* mix of components — the paper's
+//! whole point is monitoring memory traffic, GPU power and network traffic
+//! simultaneously through one object. At `start`, the set's events are
+//! partitioned by component and one native group is created per component;
+//! reads fan out to the groups and are re-assembled in the order the
+//! events were added.
+
+use crate::component::EventGroup;
+use crate::error::PapiError;
+use crate::event::EventName;
+use crate::papi::Papi;
+
+/// Running state of an event set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Stopped,
+    Running,
+}
+
+/// A multi-component event set.
+pub struct EventSet {
+    events: Vec<EventName>,
+    state: State,
+    /// One entry per component with events in the set:
+    /// (group, indices of this group's events within `events`).
+    groups: Vec<(Box<dyn EventGroup>, Vec<usize>)>,
+}
+
+impl EventSet {
+    /// An empty, stopped event set.
+    pub fn new() -> Self {
+        EventSet {
+            events: Vec::new(),
+            state: State::Stopped,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Add a native event by name. Fails while running (`PAPI_EISRUN`).
+    pub fn add_event(&mut self, name: &str) -> Result<(), PapiError> {
+        if self.state == State::Running {
+            return Err(PapiError::IsRunning);
+        }
+        self.events.push(EventName::parse(name)?);
+        Ok(())
+    }
+
+    /// The events in the set, in order.
+    pub fn events(&self) -> &[EventName] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Start counting. Creates per-component native groups through `papi`.
+    pub fn start(&mut self, papi: &Papi) -> Result<(), PapiError> {
+        if self.state == State::Running {
+            return Err(PapiError::IsRunning);
+        }
+        if self.events.is_empty() {
+            return Err(PapiError::Invalid("event set is empty".into()));
+        }
+        // Partition by component, preserving first-appearance order.
+        let mut partitions: Vec<(String, Vec<usize>)> = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            match partitions.iter_mut().find(|(c, _)| c == ev.component()) {
+                Some((_, idxs)) => idxs.push(i),
+                None => partitions.push((ev.component().to_owned(), vec![i])),
+            }
+        }
+        let mut groups = Vec::with_capacity(partitions.len());
+        for (comp_name, idxs) in partitions {
+            let comp = papi.component(&comp_name)?;
+            let evs: Vec<EventName> = idxs.iter().map(|&i| self.events[i].clone()).collect();
+            let mut group = comp.create_group(&evs)?;
+            group.start()?;
+            groups.push((group, idxs));
+        }
+        self.groups = groups;
+        self.state = State::Running;
+        Ok(())
+    }
+
+    /// Read current values in event order.
+    pub fn read(&mut self) -> Result<Vec<i64>, PapiError> {
+        if self.state != State::Running {
+            return Err(PapiError::NotRunning);
+        }
+        let mut out = vec![0i64; self.events.len()];
+        for (group, idxs) in &mut self.groups {
+            let vals = group.read()?;
+            for (v, &i) in vals.iter().zip(idxs.iter()) {
+                out[i] = *v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reset accumulation baselines.
+    pub fn reset(&mut self) -> Result<(), PapiError> {
+        if self.state != State::Running {
+            return Err(PapiError::NotRunning);
+        }
+        for (group, _) in &mut self.groups {
+            group.reset()?;
+        }
+        Ok(())
+    }
+
+    /// `PAPI_accum` semantics: add the counts since start (or the last
+    /// reset/accum) into `values`, then re-zero the baselines.
+    pub fn accum(&mut self, values: &mut [i64]) -> Result<(), PapiError> {
+        if self.state != State::Running {
+            return Err(PapiError::NotRunning);
+        }
+        if values.len() != self.events.len() {
+            return Err(PapiError::Invalid(format!(
+                "accum buffer holds {} values for {} events",
+                values.len(),
+                self.events.len()
+            )));
+        }
+        let current = self.read()?;
+        for (v, c) in values.iter_mut().zip(current) {
+            *v += c;
+        }
+        self.reset()
+    }
+
+    /// Stop counting; returns final values in event order.
+    pub fn stop(&mut self) -> Result<Vec<i64>, PapiError> {
+        if self.state != State::Running {
+            return Err(PapiError::NotRunning);
+        }
+        let mut out = vec![0i64; self.events.len()];
+        for (group, idxs) in &mut self.groups {
+            let vals = group.stop()?;
+            for (v, &i) in vals.iter().zip(idxs.iter()) {
+                out[i] = *v;
+            }
+        }
+        self.groups.clear();
+        self.state = State::Stopped;
+        Ok(out)
+    }
+
+    /// Whether the set is currently counting.
+    pub fn is_running(&self) -> bool {
+        self.state == State::Running
+    }
+}
+
+impl Default for EventSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::papi::setup_node;
+    use p9_memsim::{Direction, SimMachine};
+
+    #[test]
+    fn accum_adds_and_rebaselines() {
+        let m = SimMachine::quiet(p9_arch::Machine::summit(), 91);
+        let setup = setup_node(&m, Vec::new());
+        let mut es = EventSet::new();
+        es.add_event(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+        )
+        .unwrap();
+        es.start(&setup.papi).unwrap();
+
+        let mut acc = vec![0i64];
+        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        es.accum(&mut acc).unwrap();
+        assert_eq!(acc, vec![64]);
+        // Baseline was reset: a second accum only adds the new delta.
+        m.socket_shared(0).counters().record_sector(8, Direction::Read);
+        es.accum(&mut acc).unwrap();
+        assert_eq!(acc, vec![128]);
+        // And the running read starts from the new baseline too.
+        assert_eq!(es.read().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn accum_checks_buffer_length_and_state() {
+        let m = SimMachine::quiet(p9_arch::Machine::summit(), 92);
+        let setup = setup_node(&m, Vec::new());
+        let mut es = EventSet::new();
+        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+        let mut buf = vec![0i64];
+        assert_eq!(es.accum(&mut buf).unwrap_err(), PapiError::NotRunning);
+        es.start(&setup.papi).unwrap();
+        let mut wrong = vec![0i64; 2];
+        assert!(matches!(es.accum(&mut wrong), Err(PapiError::Invalid(_))));
+        es.stop().unwrap();
+    }
+}

@@ -1,0 +1,46 @@
+//! # papi-sim — PAPI-style multi-component performance middleware
+//!
+//! This crate is the reproduction of the paper's central artifact: a single
+//! homogeneous API through which an application simultaneously monitors
+//! *disparate* hardware — socket memory traffic (via PCP **or** direct
+//! uncore access), GPU power (NVML) and InfiniBand traffic — without
+//! touching each backend's API individually.
+//!
+//! The shape follows PAPI-C:
+//!
+//! * **Components** ([`component::Component`]) own one measurement backend
+//!   each. Four are provided, mirroring the paper's Tables I and II:
+//!   `pcp` ([`components::pcp`]), `perf_uncore` ([`components::uncore`]),
+//!   `nvml` ([`components::nvml`]) and `infiniband`
+//!   ([`components::infiniband`]).
+//! * **Event names** ([`event::EventName`]) use PAPI's native-event
+//!   grammar: `pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES
+//!   .value:cpu87`, `power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0`,
+//!   `nvml:::Tesla_V100-SXM2-16GB:device_0:power`,
+//!   `infiniband:::mlx5_0_1_ext:port_recv_data`.
+//! * **EventSets** ([`eventset::EventSet`]) mix events from any number of
+//!   components; `start`/`stop`/`read`/`reset` fan out to per-component
+//!   groups (one PCP fetch round-trip covers all PCP events of the set).
+//! * **Component availability follows privilege**: on a Summit-like
+//!   machine the `perf_uncore` component is *disabled* for ordinary users
+//!   (exactly the condition that motivates the PCP component), while on the
+//!   Tellico testbed both paths are live — letting the same experiment
+//!   compare them, as the paper does.
+//! * **Counter validation** ([`validate`]): the paper stresses PAPI's
+//!   commitment to "thorough validation of the hardware events exposed to
+//!   the user"; the validation toolkit runs micro-kernels with analytically
+//!   known traffic and checks each event's identity.
+
+pub mod component;
+pub mod components;
+pub mod error;
+pub mod event;
+pub mod eventset;
+pub mod papi;
+pub mod validate;
+
+pub use component::{Component, EventGroup, EventInfo};
+pub use error::PapiError;
+pub use event::EventName;
+pub use eventset::EventSet;
+pub use papi::{ComponentStatus, Papi};

@@ -1,0 +1,264 @@
+//! Counter validation: the Counter-Analysis-Toolkit-style identity checks.
+//!
+//! "One of PAPI's commitments as a portability layer is the thorough
+//! validation of the hardware events exposed to the user to account for
+//! unreliable counters." This module runs micro-benchmarks with
+//! analytically known memory traffic and checks that each nest event
+//! reports what its name claims:
+//!
+//! * a pure streaming **read** of `V` bytes must appear as ≈`V/8` on every
+//!   `*_READ_BYTES` channel and ≈0 on every `*_WRITE_BYTES` channel;
+//! * a pure streaming (cache-bypassing) **write** of `V` bytes must do the
+//!   reverse.
+
+use crate::error::PapiError;
+use crate::eventset::EventSet;
+use crate::papi::Papi;
+use p9_memsim::SimMachine;
+
+/// Result of checking one event against one micro-kernel.
+#[derive(Clone, Debug)]
+pub struct ValidationCheck {
+    pub event: String,
+    pub kernel: &'static str,
+    pub expected: f64,
+    pub measured: f64,
+}
+
+impl ValidationCheck {
+    /// |measured - expected| relative to the kernel volume (absolute error
+    /// for zero expectations).
+    pub fn error_vs(&self, volume: f64) -> f64 {
+        (self.measured - self.expected).abs() / volume
+    }
+}
+
+/// A full validation run.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    pub checks: Vec<ValidationCheck>,
+    pub volume: f64,
+}
+
+impl ValidationReport {
+    /// True when every check is within `tol` of its expectation, relative
+    /// to the kernel volume.
+    pub fn all_within(&self, tol: f64) -> bool {
+        self.checks.iter().all(|c| c.error_vs(self.volume) <= tol)
+    }
+
+    /// The worst relative error.
+    pub fn max_error(&self) -> f64 {
+        self.checks
+            .iter()
+            .map(|c| c.error_vs(self.volume))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Validate a set of per-channel nest read/write events on `machine`
+/// (socket 0). `read_events` and `write_events` are full native names, one
+/// per channel. `volume` is the streaming volume in bytes (must be a
+/// multiple of 512 so it stripes evenly over 8 channels at 64 B granules).
+pub fn validate_nest_traffic(
+    papi: &Papi,
+    machine: &mut SimMachine,
+    read_events: &[String],
+    write_events: &[String],
+    volume: u64,
+) -> Result<ValidationReport, PapiError> {
+    assert_eq!(volume % 512, 0, "volume must stripe evenly");
+    let mut report = ValidationReport {
+        checks: Vec::new(),
+        volume: volume as f64,
+    };
+    let per_channel = (volume / 8) as f64;
+
+    let mut es = EventSet::new();
+    for e in read_events.iter().chain(write_events) {
+        es.add_event(e)?;
+    }
+    let nr = read_events.len();
+
+    // --- Kernel 1: pure streaming read --------------------------------
+    let region = machine.alloc(volume);
+    machine.flush_socket(0);
+    es.start(papi)?;
+    machine.run_single(0, |core| core.load_seq(region.base(), volume));
+    let vals = es.stop()?;
+    for (i, e) in read_events.iter().enumerate() {
+        report.checks.push(ValidationCheck {
+            event: e.clone(),
+            kernel: "stream-read",
+            expected: per_channel,
+            measured: vals[i] as f64,
+        });
+    }
+    for (i, e) in write_events.iter().enumerate() {
+        report.checks.push(ValidationCheck {
+            event: e.clone(),
+            kernel: "stream-read",
+            expected: 0.0,
+            measured: vals[nr + i] as f64,
+        });
+    }
+
+    // --- Kernel 2: pure streaming (bypass) write -----------------------
+    let region = machine.alloc(volume);
+    machine.flush_socket(0);
+    es.start(papi)?;
+    machine.run_single(0, |core| core.store_seq(region.base(), volume));
+    let vals = es.stop()?;
+    for (i, e) in read_events.iter().enumerate() {
+        report.checks.push(ValidationCheck {
+            event: e.clone(),
+            kernel: "stream-write",
+            expected: 0.0,
+            measured: vals[i] as f64,
+        });
+    }
+    for (i, e) in write_events.iter().enumerate() {
+        report.checks.push(ValidationCheck {
+            event: e.clone(),
+            kernel: "stream-write",
+            expected: per_channel,
+            measured: vals[nr + i] as f64,
+        });
+    }
+
+    Ok(report)
+}
+
+/// Validate the read-per-write identity: a strided store kernel of `V`
+/// written bytes must show ≈`V` of read traffic (the read-for-ownership
+/// the paper observes for GEMM's `C` and S1CF's `out`) and ≈`V` of
+/// writebacks once flushed.
+pub fn validate_read_per_write(
+    papi: &Papi,
+    machine: &mut SimMachine,
+    read_events: &[String],
+    write_events: &[String],
+    volume: u64,
+) -> Result<ValidationReport, PapiError> {
+    assert_eq!(volume % 512, 0);
+    let mut es = EventSet::new();
+    for e in read_events.iter().chain(write_events) {
+        es.add_event(e)?;
+    }
+    let nr = read_events.len();
+    let per_channel = (volume / 8) as f64;
+
+    // Strided 8-byte stores, one per sector: never a sequential store
+    // stream, so every store write-allocates.
+    let region = machine.alloc(volume);
+    machine.flush_socket(0);
+    es.start(papi)?;
+    machine.run_single(0, |core| {
+        for s in 0..volume / 64 {
+            core.store(region.base() + s * 64, 8);
+        }
+    });
+    machine.flush_socket(0);
+    let vals = es.stop()?;
+
+    let mut report = ValidationReport {
+        checks: Vec::new(),
+        volume: volume as f64,
+    };
+    for (i, e) in read_events.iter().enumerate() {
+        report.checks.push(ValidationCheck {
+            event: e.clone(),
+            kernel: "strided-store (read-for-ownership)",
+            expected: per_channel,
+            measured: vals[i] as f64,
+        });
+    }
+    for (i, e) in write_events.iter().enumerate() {
+        report.checks.push(ValidationCheck {
+            event: e.clone(),
+            kernel: "strided-store (writeback)",
+            expected: per_channel,
+            measured: vals[nr + i] as f64,
+        });
+    }
+    Ok(report)
+}
+
+/// The paper's Table I event strings for `machine`'s PCP path, socket 0:
+/// `(read_events, write_events)`.
+pub fn pcp_nest_event_names(machine: &SimMachine) -> (Vec<String>, Vec<String>) {
+    let cpu = p9_arch::Machine::clone(machine.arch())
+        .node
+        .nest_cpu_qualifier(p9_arch::SocketId(0));
+    let mk = |word: &str| {
+        (0..p9_arch::MBA_CHANNELS)
+            .map(|ch| {
+                format!(
+                    "pcp:::perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_{word}_BYTES.value:cpu{cpu}"
+                )
+            })
+            .collect()
+    };
+    (mk("READ"), mk("WRITE"))
+}
+
+/// The Table I event strings for the direct `perf_uncore` path.
+pub fn uncore_nest_event_names() -> (Vec<String>, Vec<String>) {
+    let mk = |word: &str| {
+        (0..p9_arch::MBA_CHANNELS)
+            .map(|ch| format!("power9_nest_mba{ch}::PM_MBA{ch}_{word}_BYTES:cpu=0"))
+            .collect()
+    };
+    (mk("READ"), mk("WRITE"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::papi::setup_node;
+    use p9_arch::Machine;
+
+    #[test]
+    fn pcp_events_validate_on_quiet_summit() {
+        let mut m = SimMachine::quiet(Machine::summit(), 31);
+        let setup = setup_node(&m, Vec::new());
+        let (reads, writes) = pcp_nest_event_names(&m);
+        let report =
+            validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
+        assert_eq!(report.checks.len(), 32);
+        // Prefetch overshoot and partial flushes stay within 2%.
+        assert!(report.all_within(0.02), "max error {}", report.max_error());
+    }
+
+    #[test]
+    fn uncore_events_validate_on_quiet_tellico() {
+        let mut m = SimMachine::quiet(Machine::tellico(), 31);
+        let setup = setup_node(&m, Vec::new());
+        let (reads, writes) = uncore_nest_event_names();
+        let report =
+            validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
+        assert!(report.all_within(0.02), "max error {}", report.max_error());
+    }
+
+    #[test]
+    fn read_per_write_identity_validates() {
+        let mut m = SimMachine::quiet(Machine::summit(), 32);
+        let setup = setup_node(&m, Vec::new());
+        let (reads, writes) = pcp_nest_event_names(&m);
+        let report =
+            validate_read_per_write(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
+        assert!(report.all_within(0.02), "max error {}", report.max_error());
+    }
+
+    #[test]
+    fn noisy_machine_fails_tight_validation_with_one_small_run() {
+        // The motivation for repetitions: with realistic noise, a small
+        // kernel does NOT validate tightly.
+        let mut m = SimMachine::summit(31);
+        let setup = setup_node(&m, Vec::new());
+        let (reads, writes) = pcp_nest_event_names(&m);
+        let report =
+            validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 64 * 512).unwrap();
+        assert!(!report.all_within(0.02), "noise should dominate a 32 KiB kernel");
+    }
+}

@@ -1,0 +1,215 @@
+//! The unprivileged PCP client context.
+//!
+//! [`PcpContext`] mirrors the PMAPI calls the PAPI PCP component uses:
+//! `pm_lookup_name`, `pm_get_desc`, `pm_get_children`, `pm_fetch`. The
+//! client needs no privilege — the entire point of the PCP export — and
+//! every fetch charges the daemon round-trip latency to the supplied
+//! socket clock, modeling the indirection layer the paper studies.
+
+use std::sync::Arc;
+
+use crate::daemon::{oneshot, PmcdHandle, Request};
+use crate::pmns::{InstanceId, MetricDesc, MetricId};
+use p9_memsim::machine::SocketShared;
+
+/// Client-visible errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PcpError {
+    /// The metric name does not exist in the PMNS.
+    NoSuchMetric(String),
+    /// The metric id is not valid.
+    BadMetricId,
+    /// The instance is outside the metric's instance domain.
+    BadInstance,
+    /// The daemon is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for PcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcpError::NoSuchMetric(n) => write!(f, "no such metric: {n}"),
+            PcpError::BadMetricId => write!(f, "invalid metric id"),
+            PcpError::BadInstance => write!(f, "invalid instance"),
+            PcpError::Disconnected => write!(f, "pmcd connection lost"),
+        }
+    }
+}
+
+impl std::error::Error for PcpError {}
+
+/// An unprivileged connection to the PMCD.
+pub struct PcpContext {
+    handle: PmcdHandle,
+    /// Socket whose clock pays the fetch latency (the context's host
+    /// socket). `None` for latency-free administrative contexts.
+    host: Option<Arc<SocketShared>>,
+}
+
+impl PcpContext {
+    /// Connect to a daemon. `host` is the socket the client process runs
+    /// on; fetch latency is charged to its clock.
+    pub fn connect(handle: PmcdHandle, host: Option<Arc<SocketShared>>) -> Self {
+        PcpContext { handle, host }
+    }
+
+    /// Resolve a metric name (`pmLookupName`).
+    pub fn pm_lookup_name(&self, name: &str) -> Result<MetricId, PcpError> {
+        let (tx, rx) = oneshot();
+        self.handle
+            .sender()
+            .send(Request::LookupName {
+                name: name.to_owned(),
+                reply: tx,
+            })
+            .map_err(|_| PcpError::Disconnected)?;
+        rx.recv()
+            .map_err(|_| PcpError::Disconnected)?
+            .ok_or_else(|| PcpError::NoSuchMetric(name.to_owned()))
+    }
+
+    /// Metric descriptor (`pmLookupDesc`).
+    pub fn pm_get_desc(&self, id: MetricId) -> Result<MetricDesc, PcpError> {
+        let (tx, rx) = oneshot();
+        self.handle
+            .sender()
+            .send(Request::Desc { id, reply: tx })
+            .map_err(|_| PcpError::Disconnected)?;
+        rx.recv()
+            .map_err(|_| PcpError::Disconnected)?
+            .ok_or(PcpError::BadMetricId)
+    }
+
+    /// Names under a prefix (`pmGetChildren`, flattened).
+    pub fn pm_get_children(&self, prefix: &str) -> Result<Vec<String>, PcpError> {
+        let (tx, rx) = oneshot();
+        self.handle
+            .sender()
+            .send(Request::Children {
+                prefix: prefix.to_owned(),
+                reply: tx,
+            })
+            .map_err(|_| PcpError::Disconnected)?;
+        rx.recv().map_err(|_| PcpError::Disconnected)
+    }
+
+    /// Fetch current values (`pmFetch`). One round trip for the whole
+    /// group — PAPI batches all PCP events of an event set into a single
+    /// fetch, and the round-trip latency is charged once.
+    pub fn pm_fetch(
+        &self,
+        requests: &[(MetricId, InstanceId)],
+    ) -> Result<Vec<u64>, PcpError> {
+        let (tx, rx) = oneshot();
+        self.handle
+            .sender()
+            .send(Request::Fetch {
+                requests: requests.to_vec(),
+                reply: tx,
+            })
+            .map_err(|_| PcpError::Disconnected)?;
+        let values = rx.recv().map_err(|_| PcpError::Disconnected)?;
+        if let Some(host) = &self.host {
+            host.advance_seconds(self.handle.config().fetch_latency_s);
+        }
+        values
+            .into_iter()
+            .map(|v| v.ok_or(PcpError::BadInstance))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Pmcd, PmcdConfig};
+    use crate::pmns::Pmns;
+    use p9_arch::Machine;
+    use p9_memsim::{Direction, SimMachine};
+
+    fn setup(latency: f64) -> (SimMachine, Pmcd, PcpContext) {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let sockets: Vec<_> = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
+        let d = Pmcd::spawn_system(
+            pmns,
+            sockets,
+            PmcdConfig {
+                fetch_latency_s: latency,
+                fetch_touch: false,
+            },
+        );
+        let ctx = PcpContext::connect(d.handle(), Some(m.socket_shared(0)));
+        (m, d, ctx)
+    }
+
+    #[test]
+    fn lookup_fetch_roundtrip() {
+        let (m, _d, ctx) = setup(0.0);
+        let id = ctx
+            .pm_lookup_name("perfevent.hwcounters.nest_mba2_imc.PM_MBA2_READ_BYTES.value")
+            .unwrap();
+        let desc = ctx.pm_get_desc(id).unwrap();
+        assert_eq!(desc.channel, 2);
+        // Sector 2 maps to channel 2.
+        m.socket_shared(0)
+            .counters()
+            .record_sector(2, Direction::Read);
+        let vals = ctx.pm_fetch(&[(id, InstanceId(87))]).unwrap();
+        assert_eq!(vals, vec![64]);
+    }
+
+    #[test]
+    fn lookup_failure_is_reported() {
+        let (_m, _d, ctx) = setup(0.0);
+        match ctx.pm_lookup_name("perfevent.bogus") {
+            Err(PcpError::NoSuchMetric(n)) => assert_eq!(n, "perfevent.bogus"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_latency_charged_to_host_clock() {
+        let (m, _d, ctx) = setup(1e-3);
+        let id = ctx
+            .pm_lookup_name("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+            .unwrap();
+        let t0 = m.socket_shared(0).now_seconds();
+        ctx.pm_fetch(&[(id, InstanceId(87))]).unwrap();
+        let t1 = m.socket_shared(0).now_seconds();
+        assert!(t1 - t0 >= 0.9e-3, "latency not charged: {}", t1 - t0);
+    }
+
+    #[test]
+    fn children_listing_via_client() {
+        let (_m, _d, ctx) = setup(0.0);
+        let names = ctx
+            .pm_get_children("perfevent.hwcounters.nest_mba5_imc")
+            .unwrap();
+        assert_eq!(names.len(), 2);
+        assert!(names.iter().all(|n| n.contains("MBA5")));
+    }
+
+    #[test]
+    fn batched_fetch_returns_all_values() {
+        let (m, _d, ctx) = setup(0.0);
+        let pmns = Pmns::for_machine(m.arch());
+        let reqs: Vec<_> = (0..8)
+            .map(|ch| {
+                let id = pmns
+                    .lookup(&format!(
+                        "perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_READ_BYTES.value"
+                    ))
+                    .unwrap();
+                (id, InstanceId(87))
+            })
+            .collect();
+        for s in 0..16u64 {
+            m.socket_shared(0)
+                .counters()
+                .record_sector(s, Direction::Read);
+        }
+        let vals = ctx.pm_fetch(&reqs).unwrap();
+        assert_eq!(vals, vec![128; 8]);
+    }
+}

@@ -1,0 +1,330 @@
+//! The Performance Metrics Collector Daemon (PMCD).
+//!
+//! The daemon is a real OS thread. It is the *only* component on a Summit
+//! node holding an elevated privilege token, and therefore the only path by
+//! which an unprivileged client can observe the nest counters. Requests
+//! arrive over a crossbeam channel; each request carries its own response
+//! channel (a rendezvous), mirroring PCP's PDU exchange.
+//!
+//! Two fidelity knobs model the indirection the paper evaluates:
+//!
+//! * `fetch_latency_s` — wall time one fetch round-trip adds to the
+//!   *requesting context's* measured window (daemon scheduling + PDU
+//!   encode/decode). The PAPI PCP component accounts this when it reads.
+//! * `fetch_touch` — when set, every fetch injects the daemon's own memory
+//!   traffic into the socket counters (the daemon runs *on* the measured
+//!   socket). Off by default; the PAPI layer injects start/stop overhead
+//!   itself.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::pmns::{InstanceId, MetricDesc, MetricId, Pmns};
+use p9_memsim::machine::SocketShared;
+use p9_memsim::{PrivilegeError, PrivilegeToken};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct PmcdConfig {
+    /// Seconds of simulated latency added per fetch round-trip.
+    pub fetch_latency_s: f64,
+    /// Inject daemon memory traffic on each fetch.
+    pub fetch_touch: bool,
+}
+
+impl Default for PmcdConfig {
+    fn default() -> Self {
+        PmcdConfig {
+            // ~80 µs: a local-socket PDU round trip plus PMDA work.
+            fetch_latency_s: 80e-6,
+            fetch_touch: false,
+        }
+    }
+}
+
+/// Requests a client can send (a trimmed PCP PDU set).
+#[derive(Debug)]
+pub enum Request {
+    LookupName {
+        name: String,
+        reply: Sender<Option<MetricId>>,
+    },
+    Desc {
+        id: MetricId,
+        reply: Sender<Option<MetricDesc>>,
+    },
+    Children {
+        prefix: String,
+        reply: Sender<Vec<String>>,
+    },
+    Fetch {
+        requests: Vec<(MetricId, InstanceId)>,
+        reply: Sender<Vec<Option<u64>>>,
+    },
+    Shutdown,
+}
+
+/// A handle for connecting clients and shutting the daemon down.
+#[derive(Clone)]
+pub struct PmcdHandle {
+    tx: Sender<Request>,
+    config: PmcdConfig,
+}
+
+impl PmcdHandle {
+    pub(crate) fn sender(&self) -> Sender<Request> {
+        self.tx.clone()
+    }
+
+    /// The daemon's configuration (clients read the fetch latency).
+    pub fn config(&self) -> &PmcdConfig {
+        &self.config
+    }
+}
+
+/// The daemon itself (owns the service thread).
+pub struct Pmcd {
+    handle: PmcdHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Pmcd {
+    /// Start a PMCD for the given sockets. Requires an elevated token —
+    /// exactly like the real daemon, which is started by the system with
+    /// the privileges ordinary users lack.
+    pub fn spawn(
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        token: &PrivilegeToken,
+        config: PmcdConfig,
+    ) -> Result<Self, PrivilegeError> {
+        token.require_elevated()?;
+        let (tx, rx) = unbounded::<Request>();
+        let cfg = config.clone();
+        let thread = std::thread::Builder::new()
+            .name("pmcd".into())
+            .spawn(move || service_loop(pmns, sockets, cfg, rx))
+            .expect("spawn pmcd thread");
+        Ok(Pmcd {
+            handle: PmcdHandle { tx, config },
+            thread: Some(thread),
+        })
+    }
+
+    /// Start a PMCD as the *system* would: the system boot path mints the
+    /// elevated token itself, so this succeeds even on machines where users
+    /// are unprivileged. This is how Summit exposes nest counters to
+    /// everyone.
+    pub fn spawn_system(
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        config: PmcdConfig,
+    ) -> Self {
+        Self::spawn(pmns, sockets, &PrivilegeToken::elevated(), config)
+            .expect("elevated token cannot be rejected")
+    }
+
+    /// Handle for connecting clients.
+    pub fn handle(&self) -> PmcdHandle {
+        self.handle.clone()
+    }
+}
+
+impl Drop for Pmcd {
+    fn drop(&mut self) {
+        let _ = self.handle.tx.send(Request::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn service_loop(
+    pmns: Pmns,
+    sockets: Vec<Arc<SocketShared>>,
+    config: PmcdConfig,
+    rx: Receiver<Request>,
+) {
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::LookupName { name, reply } => {
+                let _ = reply.send(pmns.lookup(&name));
+            }
+            Request::Desc { id, reply } => {
+                let _ = reply.send(pmns.desc(id).cloned());
+            }
+            Request::Children { prefix, reply } => {
+                let names = pmns
+                    .children(&prefix)
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect();
+                let _ = reply.send(names);
+            }
+            Request::Fetch { requests, reply } => {
+                let values = requests
+                    .iter()
+                    .map(|&(id, inst)| fetch_one(&pmns, &sockets, &config, id, inst))
+                    .collect();
+                let _ = reply.send(values);
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+fn fetch_one(
+    pmns: &Pmns,
+    sockets: &[Arc<SocketShared>],
+    config: &PmcdConfig,
+    id: MetricId,
+    inst: InstanceId,
+) -> Option<u64> {
+    let desc = pmns.desc(id)?;
+    if !pmns.valid_instance(inst) {
+        return None;
+    }
+    // Nest values are published on each socket's qualifier CPU; any other
+    // CPU instance reads as zero (matching the real perfevent export).
+    match pmns.socket_of_instance(inst) {
+        Some(socket) => {
+            let shared = sockets.get(socket)?;
+            if config.fetch_touch {
+                shared.measurement_touch();
+            }
+            Some(shared.counters().channel(desc.channel, desc.direction))
+        }
+        None => Some(0),
+    }
+}
+
+/// Create a rendezvous channel for one request/response exchange.
+pub(crate) fn oneshot<T>() -> (Sender<T>, Receiver<T>) {
+    bounded(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_arch::Machine;
+    use p9_memsim::{Direction, SimMachine};
+
+    fn setup() -> (SimMachine, Pmcd) {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let sockets = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
+        let d = Pmcd::spawn_system(pmns, sockets, PmcdConfig::default());
+        (m, d)
+    }
+
+    fn roundtrip_fetch(d: &Pmcd, id: MetricId, inst: InstanceId) -> Option<u64> {
+        let (tx, rx) = oneshot();
+        d.handle()
+            .sender()
+            .send(Request::Fetch {
+                requests: vec![(id, inst)],
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap()[0]
+    }
+
+    #[test]
+    fn daemon_requires_elevation() {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let sockets = vec![m.socket_shared(0)];
+        let err = Pmcd::spawn(pmns, sockets, &PrivilegeToken::user(), PmcdConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fetch_returns_live_counter_values() {
+        let (m, d) = setup();
+        let pmns = Pmns::for_machine(m.arch());
+        let id = pmns
+            .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+            .unwrap();
+        let inst = pmns.instance_of_socket(0);
+        assert_eq!(roundtrip_fetch(&d, id, inst), Some(0));
+        // Generate traffic on channel 0 (sector 0 -> channel 0).
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
+        assert_eq!(roundtrip_fetch(&d, id, inst), Some(64));
+    }
+
+    #[test]
+    fn wrong_instance_reads_zero_and_invalid_is_none() {
+        let (m, d) = setup();
+        let pmns = Pmns::for_machine(m.arch());
+        let id = pmns
+            .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+            .unwrap();
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
+        // CPU 3 is a valid instance but not a nest publisher -> 0.
+        assert_eq!(roundtrip_fetch(&d, id, InstanceId(3)), Some(0));
+        // CPU 500 is not a valid instance -> None.
+        assert_eq!(roundtrip_fetch(&d, id, InstanceId(500)), None);
+    }
+
+    #[test]
+    fn sockets_are_independent() {
+        let (m, d) = setup();
+        let pmns = Pmns::for_machine(m.arch());
+        let id = pmns
+            .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value")
+            .unwrap();
+        m.socket_shared(1)
+            .counters()
+            .record_sector(0, Direction::Write);
+        assert_eq!(roundtrip_fetch(&d, id, pmns.instance_of_socket(0)), Some(0));
+        assert_eq!(
+            roundtrip_fetch(&d, id, pmns.instance_of_socket(1)),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn shutdown_on_drop_joins_thread() {
+        let (_m, d) = setup();
+        drop(d); // must not hang
+    }
+}
+
+#[cfg(test)]
+mod touch_tests {
+    use super::*;
+    use crate::client::PcpContext;
+    use p9_arch::Machine;
+    use p9_memsim::{NoiseConfig, SimMachine};
+
+    /// With `fetch_touch` enabled, each fetch injects the daemon's own
+    /// memory footprint into the measured socket — the "observer effect"
+    /// knob of the indirection model.
+    #[test]
+    fn fetch_touch_injects_daemon_traffic() {
+        let m = SimMachine::new(Machine::summit(), NoiseConfig::summit(), 55);
+        let pmns = Pmns::for_machine(m.arch());
+        let d = Pmcd::spawn_system(
+            pmns.clone(),
+            vec![m.socket_shared(0)],
+            PmcdConfig {
+                fetch_latency_s: 0.0,
+                fetch_touch: true,
+            },
+        );
+        let ctx = PcpContext::connect(d.handle(), None);
+        let id = pmns
+            .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+            .unwrap();
+        let inst = pmns.instance_of_socket(0);
+        let v1 = ctx.pm_fetch(&[(id, inst)]).unwrap()[0];
+        let v2 = ctx.pm_fetch(&[(id, inst)]).unwrap()[0];
+        assert!(v2 > v1, "each fetch must add daemon traffic: {v1} vs {v2}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # pcp-sim — a simulated Performance Co-Pilot
+//!
+//! On Summit, ordinary users cannot read the nest (uncore) counters; IBM
+//! exports them through the Performance Co-Pilot instead. The Performance
+//! Metrics Collector Daemon (PMCD) runs **with** the privileges required to
+//! program the nest PMU, and clients fetch metric values from the daemon
+//! over a request/response protocol without any special permissions.
+//!
+//! This crate reproduces that architecture:
+//!
+//! * [`pmns`] — the Performance Metrics Name Space. Nest counters appear
+//!   under `perfevent.hwcounters.nest_mba[0-7]_imc.PM_MBA[0-7]_{READ,WRITE}
+//!   _BYTES.value`, exactly the names the paper's Table I lists, with a
+//!   per-CPU instance domain (the nest metrics are exported on the last
+//!   hardware thread of each socket: `cpu87` / `cpu175` on Summit).
+//! * [`daemon`] — the PMCD: a real OS thread owning an elevated
+//!   [`p9_memsim::PrivilegeToken`] and handles to every socket's counters,
+//!   servicing lookup/describe/fetch requests over crossbeam channels.
+//! * [`client`] — `PcpContext`, the unprivileged client: `pm_lookup_name`,
+//!   `pm_get_desc`, `pm_fetch`.
+//! * [`archive`] — the `pmlogger` side: cadence-driven sampling into
+//!   replayable archives with counter-rate queries.
+//!
+//! Because the daemon reads the very same [`p9_memsim::NestCounters`] the
+//! direct `perf_uncore` path reads, measurements taken via PCP are exactly
+//! as accurate as direct ones — which is the paper's headline conclusion,
+//! and here it holds by construction *plus* whatever indirection costs the
+//! model adds (fetch latency, per-fetch daemon work).
+
+pub mod archive;
+pub mod client;
+pub mod daemon;
+pub mod pmns;
+
+pub use archive::{Archive, ArchiveRecord, PmLogger};
+pub use client::{PcpContext, PcpError};
+pub use daemon::{Pmcd, PmcdConfig, PmcdHandle};
+pub use pmns::{InstanceId, MetricDesc, MetricId, MetricSemantics, Pmns};

@@ -1,0 +1,74 @@
+//! The PMCD serves many unprivileged clients concurrently — on a real
+//! system every monitoring tool on the node talks to the same daemon.
+
+use std::sync::Arc;
+
+use p9_memsim::{Direction, SimMachine};
+use pcp_sim::{InstanceId, PcpContext, Pmcd, PmcdConfig, Pmns};
+
+#[test]
+fn many_clients_fetch_concurrently_and_consistently() {
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 73);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let daemon = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+
+    // Fixed traffic before any client connects.
+    for s in 0..80u64 {
+        machine
+            .socket_shared(0)
+            .counters()
+            .record_sector(s, Direction::Read);
+    }
+
+    let id = pmns
+        .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+        .unwrap();
+    let handle = daemon.handle();
+    let results: Vec<u64> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let ctx = PcpContext::connect(handle, None);
+                    let mut last = 0;
+                    for _ in 0..50 {
+                        let v = ctx.pm_fetch(&[(id, InstanceId(87))]).unwrap()[0];
+                        assert!(v >= last, "counter went backwards");
+                        last = v;
+                    }
+                    last
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    // Channel 0 saw 10 of the 80 sectors: 640 bytes, same for everyone.
+    assert!(results.iter().all(|&v| v == 640), "{results:?}");
+}
+
+#[test]
+fn clients_can_outlive_each_other() {
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 74);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let daemon = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+
+    let c1 = PcpContext::connect(daemon.handle(), None);
+    {
+        let c2 = PcpContext::connect(daemon.handle(), None);
+        assert!(c2.pm_get_children("perfevent").unwrap().len() == 16);
+        drop(c2);
+    }
+    // First client still works after the second disconnected.
+    let id = c1
+        .pm_lookup_name("perfevent.hwcounters.nest_mba7_imc.PM_MBA7_WRITE_BYTES.value")
+        .unwrap();
+    assert_eq!(c1.pm_fetch(&[(id, InstanceId(87))]).unwrap(), vec![0]);
+    let _ = Arc::strong_count(&machine.socket_shared(0));
+}

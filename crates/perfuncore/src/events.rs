@@ -1,0 +1,127 @@
+//! Nest IMC event definitions.
+//!
+//! The POWER9 in-memory-collection (IMC) nest unit publishes its counters
+//! at fixed offsets in a memory page the hypervisor updates; the "Nest IMC
+//! Memory Offsets" table of the POWER9 PMU User's Guide assigns one 8-byte
+//! slot per event. The PMU names used by `perf` (and thus by PAPI's
+//! perf-based component) have the form
+//! `power9_nest_mba<ch>::PM_MBA<ch>_{READ,WRITE}_BYTES`.
+
+use p9_memsim::Direction;
+
+/// One nest IMC event definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NestEventDef {
+    /// PMU name, e.g. `power9_nest_mba3`.
+    pub pmu: &'static str,
+    /// Event name within the PMU, e.g. `PM_MBA3_READ_BYTES`.
+    pub event: &'static str,
+    /// Offset of the counter slot in the IMC page.
+    pub imc_offset: u64,
+    /// MBA channel the event counts.
+    pub channel: usize,
+    /// Traffic direction.
+    pub direction: Direction,
+    /// Scale applied to the raw counter to obtain bytes (the IMC counts in
+    /// 64-byte granules internally; the kernel pre-scales, so 1 here).
+    pub scale: u64,
+}
+
+macro_rules! nest_events {
+    ($($ch:literal),*) => {
+        &[
+            $(
+                NestEventDef {
+                    pmu: concat!("power9_nest_mba", $ch),
+                    event: concat!("PM_MBA", $ch, "_READ_BYTES"),
+                    imc_offset: 0x118 + $ch * 0x100,
+                    channel: $ch,
+                    direction: Direction::Read,
+                    scale: 1,
+                },
+                NestEventDef {
+                    pmu: concat!("power9_nest_mba", $ch),
+                    event: concat!("PM_MBA", $ch, "_WRITE_BYTES"),
+                    imc_offset: 0x120 + $ch * 0x100,
+                    channel: $ch,
+                    direction: Direction::Write,
+                    scale: 1,
+                },
+            )*
+        ]
+    };
+}
+
+/// The full nest IMC memory-traffic event table (two events per channel).
+pub const NEST_IMC_EVENTS: &[NestEventDef] = nest_events!(0, 1, 2, 3, 4, 5, 6, 7);
+
+/// Find an event by `pmu::event` name, e.g.
+/// `("power9_nest_mba0", "PM_MBA0_READ_BYTES")`.
+pub fn lookup(pmu: &str, event: &str) -> Option<&'static NestEventDef> {
+    NEST_IMC_EVENTS
+        .iter()
+        .find(|e| e.pmu == pmu && e.event == event)
+}
+
+/// Parse a full `perf_uncore` event string of the form
+/// `power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0` into (definition, cpu).
+pub fn parse_event_string(s: &str) -> Option<(&'static NestEventDef, u32)> {
+    let (pmu, rest) = s.split_once("::")?;
+    let (event, cpu) = match rest.split_once(":cpu=") {
+        Some((e, c)) => (e, c.parse().ok()?),
+        None => (rest, 0),
+    };
+    lookup(pmu, event).map(|def| (def, cpu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_arch::MBA_CHANNELS;
+
+    #[test]
+    fn table_is_complete_and_consistent() {
+        assert_eq!(NEST_IMC_EVENTS.len(), 2 * MBA_CHANNELS);
+        for def in NEST_IMC_EVENTS {
+            assert!(def.pmu.ends_with(&def.channel.to_string()));
+            assert!(def.event.contains(&format!("MBA{}", def.channel)));
+            match def.direction {
+                Direction::Read => assert!(def.event.contains("READ")),
+                Direction::Write => assert!(def.event.contains("WRITE")),
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_unique() {
+        let mut offsets: Vec<u64> = NEST_IMC_EVENTS.iter().map(|e| e.imc_offset).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets.len(), NEST_IMC_EVENTS.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let def = lookup("power9_nest_mba4", "PM_MBA4_WRITE_BYTES").unwrap();
+        assert_eq!(def.channel, 4);
+        assert_eq!(def.direction, Direction::Write);
+        assert!(lookup("power9_nest_mba4", "PM_MBA5_WRITE_BYTES").is_none());
+        assert!(lookup("power9_nest_mba9", "PM_MBA9_READ_BYTES").is_none());
+    }
+
+    #[test]
+    fn event_string_parsing() {
+        let (def, cpu) = parse_event_string("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0").unwrap();
+        assert_eq!(def.channel, 0);
+        assert_eq!(cpu, 0);
+        let (def, cpu) =
+            parse_event_string("power9_nest_mba7::PM_MBA7_WRITE_BYTES:cpu=64").unwrap();
+        assert_eq!(def.channel, 7);
+        assert_eq!(cpu, 64);
+        // Without a cpu qualifier, cpu defaults to 0.
+        let (_, cpu) = parse_event_string("power9_nest_mba1::PM_MBA1_READ_BYTES").unwrap();
+        assert_eq!(cpu, 0);
+        assert!(parse_event_string("nonsense").is_none());
+        assert!(parse_event_string("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=x").is_none());
+    }
+}

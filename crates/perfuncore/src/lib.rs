@@ -1,0 +1,24 @@
+//! # perf-uncore-sim — direct nest-counter access
+//!
+//! On the Tellico testbed the study had elevated privileges, so PAPI could
+//! program the nest IMC directly through `perf_event`-style uncore PMUs —
+//! no PCP daemon in the path. The paper defines the `perf_uncore` events
+//! "using the Nest IMC Memory Offsets" from the POWER9 PMU user's guide,
+//! addressed as:
+//!
+//! ```text
+//! power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0
+//! power9_nest_mba3::PM_MBA3_WRITE_BYTES:cpu=0
+//! ```
+//!
+//! This crate provides the event tables ([`events`]) and the privileged PMU
+//! handle ([`pmu`]). Opening a counter without an elevated
+//! [`p9_memsim::PrivilegeToken`] fails with `PermissionDenied`, exactly the
+//! failure an ordinary Summit user hits — which is why the PCP component of
+//! `pcp-sim` exists at all.
+
+pub mod events;
+pub mod pmu;
+
+pub use events::{NestEventDef, NEST_IMC_EVENTS};
+pub use pmu::{UncoreCounter, UncoreError, UncorePmu};

@@ -1,0 +1,288 @@
+//! # papi-profiling — multi-component timeline profiles
+//!
+//! Figures 11 and 12 of the paper are *performance profiles*: several
+//! orthogonal hardware signals (host memory read/write traffic via the
+//! PCP component, GPU power via NVML, network receive traffic via the
+//! InfiniBand component) sampled over the run of an application, with the
+//! application's phases identifiable purely from the signals.
+//!
+//! [`Profiler`] owns one multi-component [`papi_sim::EventSet`]. The
+//! instrumented applications (`fft3d::gpu::GpuFft3dRank`,
+//! `qmc_mini::QmcApp`) invoke a tick callback after every slab of work;
+//! the profiler samples there, timestamped with the socket's simulated
+//! clock. Counter-like events are reported as *rates* over the sample
+//! window; gauge events (GPU power) are reported as instantaneous values.
+
+use papi_sim::{EventSet, Papi, PapiError};
+
+/// How an event's samples should be interpreted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// Monotonic byte/word counter: report deltas per second.
+    Counter,
+    /// Instantaneous gauge (e.g. power in mW): report the raw value.
+    Gauge,
+}
+
+/// One profiled column.
+#[derive(Clone, Debug)]
+pub struct Column {
+    pub event: String,
+    pub kind: EventKind,
+    /// Short label for rendering ("mem-rd", "gpu-W", ...).
+    pub label: String,
+    /// Multiplier applied to sampled values (e.g. 8.0 to extrapolate one
+    /// MBA channel's counter to the whole striped socket).
+    pub scale: f64,
+}
+
+impl Column {
+    /// A counter column with unit scale.
+    pub fn counter(event: impl Into<String>, label: impl Into<String>) -> Column {
+        Column {
+            event: event.into(),
+            kind: EventKind::Counter,
+            label: label.into(),
+            scale: 1.0,
+        }
+    }
+
+    /// A gauge column with unit scale.
+    pub fn gauge(event: impl Into<String>, label: impl Into<String>) -> Column {
+        Column {
+            event: event.into(),
+            kind: EventKind::Gauge,
+            label: label.into(),
+            scale: 1.0,
+        }
+    }
+
+    /// Apply a value multiplier.
+    pub fn scaled(mut self, scale: f64) -> Column {
+        self.scale = scale;
+        self
+    }
+}
+
+/// One timeline sample.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// Application phase active when the sample was taken.
+    pub phase: String,
+    /// Per-column value: rate (units/s) for counters, raw for gauges.
+    pub values: Vec<f64>,
+}
+
+/// A completed profile.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    pub columns: Vec<Column>,
+    pub samples: Vec<Sample>,
+}
+
+impl Timeline {
+    /// Mean of each column per phase, in first-appearance phase order.
+    pub fn phase_summary(&self) -> Vec<(String, Vec<f64>)> {
+        let mut order: Vec<String> = Vec::new();
+        for s in &self.samples {
+            if !order.contains(&s.phase) {
+                order.push(s.phase.clone());
+            }
+        }
+        order
+            .into_iter()
+            .map(|phase| {
+                let rows: Vec<&Sample> =
+                    self.samples.iter().filter(|s| s.phase == phase).collect();
+                let n = rows.len().max(1) as f64;
+                let means = (0..self.columns.len())
+                    .map(|c| rows.iter().map(|s| s.values[c]).sum::<f64>() / n)
+                    .collect();
+                (phase, means)
+            })
+            .collect()
+    }
+
+    /// CSV rendering: `time_s,phase,<label>...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,phase");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.label);
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!("{:.6},{}", s.time_s, s.phase));
+            for v in &s.values {
+                out.push_str(&format!(",{v:.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A coarse ASCII strip chart of one column (for terminal inspection).
+    pub fn ascii_chart(&self, column: usize, width: usize) -> String {
+        let max = self
+            .samples
+            .iter()
+            .map(|s| s.values[column])
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut out = format!("{} (max {:.3e})\n", self.columns[column].label, max);
+        for s in &self.samples {
+            let bar = ((s.values[column] / max) * width as f64) as usize;
+            out.push_str(&format!(
+                "{:>10.6}s {:<10} |{}\n",
+                s.time_s,
+                s.phase,
+                "#".repeat(bar)
+            ));
+        }
+        out
+    }
+}
+
+/// The live profiler.
+pub struct Profiler {
+    es: EventSet,
+    columns: Vec<Column>,
+    timeline: Timeline,
+    last_time: f64,
+    last_values: Vec<i64>,
+}
+
+impl Profiler {
+    /// Create and start a profiler over `columns` (kind decides rate vs
+    /// gauge handling).
+    pub fn start(papi: &Papi, columns: Vec<Column>) -> Result<Self, PapiError> {
+        let mut es = EventSet::new();
+        for c in &columns {
+            es.add_event(&c.event)?;
+        }
+        es.start(papi)?;
+        let n = columns.len();
+        Ok(Profiler {
+            es,
+            columns: columns.clone(),
+            timeline: Timeline {
+                columns,
+                samples: Vec::new(),
+            },
+            last_time: 0.0,
+            last_values: vec![0; n],
+        })
+    }
+
+    /// Take a sample at simulated time `now_s`, attributed to `phase`.
+    pub fn tick(&mut self, phase: &str, now_s: f64) -> Result<(), PapiError> {
+        let values = self.es.read()?;
+        let dt = (now_s - self.last_time).max(1e-12);
+        let row = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                c.scale
+                    * match c.kind {
+                        EventKind::Counter => (values[i] - self.last_values[i]) as f64 / dt,
+                        EventKind::Gauge => values[i] as f64,
+                    }
+            })
+            .collect();
+        self.timeline.samples.push(Sample {
+            time_s: now_s,
+            phase: phase.to_owned(),
+            values: row,
+        });
+        self.last_time = now_s;
+        self.last_values = values;
+        Ok(())
+    }
+
+    /// Stop counting and return the timeline.
+    pub fn finish(mut self) -> Result<Timeline, PapiError> {
+        self.es.stop()?;
+        Ok(self.timeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_memsim::{Direction, SimMachine};
+    use papi_sim::papi::setup_node;
+
+    fn mem_columns(cpu: usize) -> Vec<Column> {
+        vec![
+            Column::counter(
+                format!(
+                    "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu{cpu}"
+                ),
+                "mem-rd",
+            ),
+            Column::gauge("nvml:::Tesla_V100-SXM2-16GB:device_0:power", "gpu-mW"),
+        ]
+    }
+
+    #[test]
+    fn samples_record_rates_and_gauges() {
+        let m = SimMachine::quiet(p9_arch::Machine::summit(), 81);
+        let setup = setup_node(&m, Vec::new());
+        let shared = m.socket_shared(0);
+        let mut p = Profiler::start(&setup.papi, mem_columns(87)).unwrap();
+
+        // 1 second of 64 B/s on channel 0.
+        shared.counters().record_sector(0, Direction::Read);
+        shared.advance_seconds(1.0);
+        p.tick("phase-a", shared.now_seconds()).unwrap();
+
+        shared.counters().record_sector(0, Direction::Read);
+        shared.counters().record_sector(0, Direction::Read);
+        shared.advance_seconds(1.0);
+        p.tick("phase-b", shared.now_seconds()).unwrap();
+
+        let t = p.finish().unwrap();
+        assert_eq!(t.samples.len(), 2);
+        assert!((t.samples[0].values[0] - 64.0).abs() < 1.0);
+        assert!((t.samples[1].values[0] - 128.0).abs() < 1.0);
+        // Idle GPU gauge.
+        assert_eq!(t.samples[0].values[1], 52_000.0);
+    }
+
+    #[test]
+    fn phase_summary_orders_and_averages() {
+        let m = SimMachine::quiet(p9_arch::Machine::summit(), 82);
+        let setup = setup_node(&m, Vec::new());
+        let shared = m.socket_shared(0);
+        let mut p = Profiler::start(&setup.papi, mem_columns(87)).unwrap();
+        for phase in ["x", "x", "y"] {
+            shared.advance_seconds(0.5);
+            p.tick(phase, shared.now_seconds()).unwrap();
+        }
+        let t = p.finish().unwrap();
+        let summary = t.phase_summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].0, "x");
+        assert_eq!(summary[1].0, "y");
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let m = SimMachine::quiet(p9_arch::Machine::summit(), 83);
+        let setup = setup_node(&m, Vec::new());
+        let shared = m.socket_shared(0);
+        let mut p = Profiler::start(&setup.papi, mem_columns(87)).unwrap();
+        shared.advance_seconds(0.1);
+        p.tick("only", shared.now_seconds()).unwrap();
+        let t = p.finish().unwrap();
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_s,phase,mem-rd,gpu-mW\n"));
+        assert_eq!(csv.lines().count(), 2);
+        let chart = t.ascii_chart(1, 40);
+        assert!(chart.contains("gpu-mW"));
+        assert!(chart.contains("only"));
+    }
+}

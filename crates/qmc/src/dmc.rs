@@ -1,0 +1,199 @@
+//! Diffusion Monte Carlo with drift, branching and population control.
+//!
+//! Walkers drift-diffuse with the trial wavefunction's quantum force and
+//! carry branching weights `exp(−τ·(½(E_L(r) + E_L(r')) − E_T))`;
+//! stochastic rounding turns weights into copies/deletions, and the trial
+//! energy `E_T` is adjusted each block to hold the population near its
+//! target. With importance sampling the mixed estimator converges to the
+//! exact ground-state energy even for an imperfect trial wavefunction —
+//! the property the tests verify.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Trial, R3};
+
+/// DMC run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DmcParams {
+    pub timestep: f64,
+    pub target_population: usize,
+    /// Population-control feedback gain.
+    pub feedback: f64,
+}
+
+impl Default for DmcParams {
+    fn default() -> Self {
+        DmcParams {
+            timestep: 0.01,
+            target_population: 512,
+            feedback: 1.0,
+        }
+    }
+}
+
+/// Statistics of one DMC block.
+#[derive(Clone, Copy, Debug)]
+pub struct DmcStats {
+    /// Weighted mixed-estimator energy of the block.
+    pub energy: f64,
+    /// Trial energy at block end.
+    pub e_trial: f64,
+    /// Population at block end.
+    pub population: usize,
+}
+
+/// The DMC walker ensemble.
+pub struct DmcSampler {
+    pub trial: Trial,
+    pub params: DmcParams,
+    walkers: Vec<R3>,
+    e_trial: f64,
+    rng: StdRng,
+}
+
+impl DmcSampler {
+    /// Start from an equilibrated VMC ensemble (or any positions).
+    pub fn new(trial: Trial, walkers: Vec<R3>, params: DmcParams, seed: u64) -> Self {
+        assert!(!walkers.is_empty());
+        let e0 = walkers.iter().map(|r| trial.local_energy(r)).sum::<f64>() / walkers.len() as f64;
+        DmcSampler {
+            trial,
+            params,
+            walkers,
+            e_trial: e0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn population(&self) -> usize {
+        self.walkers.len()
+    }
+
+    pub fn e_trial(&self) -> f64 {
+        self.e_trial
+    }
+
+    fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Advance `steps` DMC generations; returns block statistics.
+    pub fn run_block(&mut self, steps: usize) -> DmcStats {
+        let tau = self.params.timestep;
+        let sqrt_tau = tau.sqrt();
+        let mut e_weighted = 0.0;
+        let mut w_total = 0.0;
+
+        for _ in 0..steps {
+            let mut next: Vec<R3> = Vec::with_capacity(self.walkers.len() + 16);
+            let mut e_gen = 0.0;
+            let mut w_gen = 0.0;
+            for i in 0..self.walkers.len() {
+                let r = self.walkers[i];
+                let e_old = self.trial.local_energy(&r);
+                let f = self.trial.drift(&r);
+                let rp = [
+                    r[0] + f[0] * tau + self.normal() * sqrt_tau,
+                    r[1] + f[1] * tau + self.normal() * sqrt_tau,
+                    r[2] + f[2] * tau + self.normal() * sqrt_tau,
+                ];
+                let e_new = self.trial.local_energy(&rp);
+                let weight = (-tau * (0.5 * (e_old + e_new) - self.e_trial)).exp();
+                e_gen += weight * e_new;
+                w_gen += weight;
+                // Stochastic branching: floor(w + u) copies.
+                let copies = (weight + self.rng.gen::<f64>()).floor() as usize;
+                for _ in 0..copies.min(4) {
+                    next.push(rp);
+                }
+            }
+            if next.is_empty() {
+                // Ensemble died (pathological parameters): reseed one walker.
+                next.push([0.0; 3]);
+            }
+            e_weighted += e_gen;
+            w_total += w_gen;
+            self.walkers = next;
+            // Population control: pull E_T toward holding the target.
+            let ratio = self.walkers.len() as f64 / self.params.target_population as f64;
+            let block_e = e_gen / w_gen.max(1e-300);
+            self.e_trial = block_e - self.params.feedback / tau * ratio.ln() * tau;
+        }
+
+        DmcStats {
+            energy: e_weighted / w_total.max(1e-300),
+            e_trial: self.e_trial,
+            population: self.walkers.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmc::VmcSampler;
+
+    fn equilibrated_walkers(alpha: f64, n: usize) -> Vec<R3> {
+        let mut vmc = VmcSampler::new(Trial::new(alpha), n, 0.3, true, 99);
+        vmc.run_block(200);
+        vmc.walkers.clone()
+    }
+
+    #[test]
+    fn dmc_recovers_exact_energy_from_imperfect_trial() {
+        // alpha = 0.8: VMC energy would be 0.75*(0.8 + 1.25) = 1.5375;
+        // DMC must pull the estimate down toward 1.5.
+        let trial = Trial::new(0.8);
+        let walkers = equilibrated_walkers(0.8, 512);
+        let mut dmc = DmcSampler::new(trial, walkers, DmcParams::default(), 7);
+        dmc.run_block(300); // equilibrate
+        let mut e = 0.0;
+        let blocks = 10;
+        for _ in 0..blocks {
+            e += dmc.run_block(100).energy;
+        }
+        e /= blocks as f64;
+        assert!(
+            (e - Trial::EXACT_ENERGY).abs() < 0.02,
+            "DMC energy {e} should be near 1.5"
+        );
+    }
+
+    #[test]
+    fn population_stays_near_target() {
+        let trial = Trial::new(0.9);
+        let walkers = equilibrated_walkers(0.9, 512);
+        let mut dmc = DmcSampler::new(trial, walkers, DmcParams::default(), 11);
+        dmc.run_block(200);
+        let stats = dmc.run_block(200);
+        let ratio = stats.population as f64 / 512.0;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "population drifted: {}",
+            stats.population
+        );
+    }
+
+    #[test]
+    fn exact_trial_has_flat_weights() {
+        // With alpha = 1 the local energy is constant: weights stay ~1 and
+        // the energy is exact from the first block.
+        let trial = Trial::new(1.0);
+        let walkers = equilibrated_walkers(1.0, 256);
+        let mut dmc = DmcSampler::new(trial, walkers, DmcParams::default(), 13);
+        let stats = dmc.run_block(50);
+        assert!((stats.energy - 1.5).abs() < 1e-9, "{}", stats.energy);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let trial = Trial::new(0.85);
+        let w = equilibrated_walkers(0.85, 128);
+        let mut a = DmcSampler::new(trial, w.clone(), DmcParams::default(), 21);
+        let mut b = DmcSampler::new(trial, w, DmcParams::default(), 21);
+        assert_eq!(a.run_block(50).energy, b.run_block(50).energy);
+    }
+}

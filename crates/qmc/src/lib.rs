@@ -1,0 +1,29 @@
+//! # qmc-mini — a QMCPACK-style Quantum Monte Carlo mini-app
+//!
+//! The paper's second whole-application case study (Fig. 12) profiles
+//! QMCPACK's example problem: "the Variational Monte Carlo (VMC) method
+//! with no drift, then the VMC method with drift, and finally, a Diffusion
+//! Monte Carlo (DMC) method", showing that the three stages are
+//! distinguishable purely from simultaneously monitored hardware signals.
+//!
+//! This crate implements a real (small) QMC code with those three phases —
+//! correct enough to be validated physically — and instruments it on the
+//! simulated machine:
+//!
+//! * [`model`] — the physical system: a 3-D isotropic harmonic oscillator
+//!   with the Gaussian trial wavefunction `ψ_α(r) = exp(−α r²/2)`; at
+//!   `α = 1` the trial function is exact and the energy is `3/2`.
+//! * [`vmc`] — Metropolis VMC with symmetric moves (`no drift`) and
+//!   Metropolis-Hastings VMC with drifted Langevin moves.
+//! * [`dmc`] — drift-diffusion-branching DMC with population control.
+//! * [`app`] — the instrumented three-phase application driving Fig. 12.
+
+pub mod app;
+pub mod dmc;
+pub mod model;
+pub mod vmc;
+
+pub use app::{QmcApp, QMC_PHASES};
+pub use dmc::{DmcParams, DmcSampler};
+pub use model::Trial;
+pub use vmc::{optimize_alpha, VmcSampler, VmcStats};

@@ -1,0 +1,84 @@
+//! The physical model: 3-D isotropic harmonic oscillator (`ℏ = m = ω = 1`)
+//! with a Gaussian trial wavefunction.
+//!
+//! `ψ_α(r) = exp(−α r² / 2)` gives
+//!
+//! * local energy `E_L(r) = 3α/2 + r²(1 − α²)/2` — constant `3/2` at the
+//!   exact `α = 1`;
+//! * drift velocity `F(r) = ∇ln ψ · … = −α·r` (quantum force `/2`).
+//!
+//! The variational principle guarantees `⟨E_L⟩_α ≥ 3/2`, with equality at
+//! `α = 1` — the property the tests lean on.
+
+/// A walker position.
+pub type R3 = [f64; 3];
+
+/// The trial wavefunction `ψ_α`.
+#[derive(Clone, Copy, Debug)]
+pub struct Trial {
+    pub alpha: f64,
+}
+
+impl Trial {
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0);
+        Trial { alpha }
+    }
+
+    /// `r²`.
+    pub fn r2(r: &R3) -> f64 {
+        r[0] * r[0] + r[1] * r[1] + r[2] * r[2]
+    }
+
+    /// `ln |ψ(r)|²  = −α r²`.
+    pub fn log_psi2(&self, r: &R3) -> f64 {
+        -self.alpha * Self::r2(r)
+    }
+
+    /// Local energy `E_L(r) = 3α/2 + r²(1 − α²)/2`.
+    pub fn local_energy(&self, r: &R3) -> f64 {
+        1.5 * self.alpha + Self::r2(r) * (1.0 - self.alpha * self.alpha) / 2.0
+    }
+
+    /// Drift (quantum force over 2): `∇ψ/ψ = −α·r`.
+    pub fn drift(&self, r: &R3) -> R3 {
+        [-self.alpha * r[0], -self.alpha * r[1], -self.alpha * r[2]]
+    }
+
+    /// Exact ground-state energy of the system.
+    pub const EXACT_ENERGY: f64 = 1.5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_energy_constant_at_exact_alpha() {
+        let t = Trial::new(1.0);
+        for r in [[0.0, 0.0, 0.0], [1.0, -2.0, 0.5], [3.0, 3.0, 3.0]] {
+            assert!((t.local_energy(&r) - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_energy_varies_away_from_exact_alpha() {
+        let t = Trial::new(0.8);
+        let a = t.local_energy(&[0.0, 0.0, 0.0]);
+        let b = t.local_energy(&[2.0, 0.0, 0.0]);
+        assert!((a - b).abs() > 0.1);
+    }
+
+    #[test]
+    fn drift_points_toward_origin() {
+        let t = Trial::new(1.0);
+        let f = t.drift(&[2.0, -1.0, 0.0]);
+        assert_eq!(f, [-2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn log_psi2_decreases_with_radius() {
+        let t = Trial::new(1.2);
+        assert!(t.log_psi2(&[0.0; 3]) > t.log_psi2(&[1.0, 1.0, 1.0]));
+    }
+}

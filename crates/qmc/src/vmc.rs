@@ -1,0 +1,264 @@
+//! Variational Monte Carlo: Metropolis sampling of `|ψ_α|²`.
+//!
+//! Two movers, matching the two VMC stages of the QMCPACK example problem:
+//!
+//! * **No drift**: symmetric Gaussian proposals, plain Metropolis.
+//! * **With drift**: Langevin proposals `r' = r + F(r)·τ + χ√τ` and the
+//!   Metropolis-Hastings correction with the Green's-function ratio.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_shim::StandardNormal;
+
+use crate::model::{Trial, R3};
+
+/// Statistics of one VMC block.
+#[derive(Clone, Copy, Debug)]
+pub struct VmcStats {
+    pub energy: f64,
+    pub energy_var: f64,
+    pub acceptance: f64,
+    pub steps: u64,
+}
+
+/// A VMC walker-ensemble sampler.
+pub struct VmcSampler {
+    pub trial: Trial,
+    pub walkers: Vec<R3>,
+    pub timestep: f64,
+    pub drift: bool,
+    rng: StdRng,
+}
+
+impl VmcSampler {
+    /// `walkers` initial positions at the origin-ish; `drift` picks the
+    /// mover.
+    pub fn new(trial: Trial, n_walkers: usize, timestep: f64, drift: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walkers = (0..n_walkers)
+            .map(|_| {
+                [
+                    rng.sample::<f64, _>(StandardNormal) * 0.5,
+                    rng.sample::<f64, _>(StandardNormal) * 0.5,
+                    rng.sample::<f64, _>(StandardNormal) * 0.5,
+                ]
+            })
+            .collect();
+        VmcSampler {
+            trial,
+            walkers,
+            timestep,
+            drift,
+            rng,
+        }
+    }
+
+    /// Number of walkers.
+    pub fn population(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Advance every walker by `steps` Monte Carlo sweeps; returns block
+    /// statistics over all post-move samples.
+    pub fn run_block(&mut self, steps: usize) -> VmcStats {
+        let tau = self.timestep;
+        let sqrt_tau = tau.sqrt();
+        let mut accepted = 0u64;
+        let mut attempts = 0u64;
+        let mut e_sum = 0.0;
+        let mut e2_sum = 0.0;
+        let mut samples = 0u64;
+
+        for _ in 0..steps {
+            for w in 0..self.walkers.len() {
+                let r = self.walkers[w];
+                let chi: R3 = [
+                    self.rng.sample::<f64, _>(StandardNormal) * sqrt_tau,
+                    self.rng.sample::<f64, _>(StandardNormal) * sqrt_tau,
+                    self.rng.sample::<f64, _>(StandardNormal) * sqrt_tau,
+                ];
+                let (proposal, log_ratio) = if self.drift {
+                    let f = self.trial.drift(&r);
+                    let rp = [
+                        r[0] + f[0] * tau + chi[0],
+                        r[1] + f[1] * tau + chi[1],
+                        r[2] + f[2] * tau + chi[2],
+                    ];
+                    // Green's-function ratio G(r|r')/G(r'|r) in log space.
+                    let fp = self.trial.drift(&rp);
+                    let mut log_g = 0.0;
+                    for d in 0..3 {
+                        let fwd = rp[d] - r[d] - f[d] * tau;
+                        let back = r[d] - rp[d] - fp[d] * tau;
+                        log_g += (fwd * fwd - back * back) / (2.0 * tau);
+                    }
+                    let log_psi = self.trial.log_psi2(&rp) - self.trial.log_psi2(&r);
+                    (rp, log_psi + log_g)
+                } else {
+                    let rp = [r[0] + chi[0], r[1] + chi[1], r[2] + chi[2]];
+                    (rp, self.trial.log_psi2(&rp) - self.trial.log_psi2(&r))
+                };
+                attempts += 1;
+                if log_ratio >= 0.0 || self.rng.gen::<f64>() < log_ratio.exp() {
+                    self.walkers[w] = proposal;
+                    accepted += 1;
+                }
+                let e = self.trial.local_energy(&self.walkers[w]);
+                e_sum += e;
+                e2_sum += e * e;
+                samples += 1;
+            }
+        }
+
+        let mean = e_sum / samples as f64;
+        VmcStats {
+            energy: mean,
+            energy_var: (e2_sum / samples as f64 - mean * mean).max(0.0),
+            acceptance: accepted as f64 / attempts as f64,
+            steps: steps as u64,
+        }
+    }
+}
+
+/// Minimal inline standard-normal sampler so the hot loop does not depend
+/// on `rand_distr` (Box–Muller on demand).
+mod rand_distr_shim {
+    use rand::Rng;
+
+    pub struct StandardNormal;
+
+    impl rand::distributions::Distribution<f64> for StandardNormal {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller; one draw per call keeps the sampler stateless.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn energy_of(alpha: f64, drift: bool) -> VmcStats {
+        let mut s = VmcSampler::new(Trial::new(alpha), 256, 0.3, drift, 1234);
+        s.run_block(100); // equilibrate
+        s.run_block(400)
+    }
+
+    #[test]
+    fn exact_alpha_gives_exact_energy_zero_variance() {
+        for drift in [false, true] {
+            let stats = energy_of(1.0, drift);
+            assert!(
+                (stats.energy - Trial::EXACT_ENERGY).abs() < 1e-9,
+                "drift={drift}: {}",
+                stats.energy
+            );
+            assert!(stats.energy_var < 1e-12);
+        }
+    }
+
+    #[test]
+    fn variational_principle_holds_off_optimum() {
+        for alpha in [0.7, 1.4] {
+            for drift in [false, true] {
+                let stats = energy_of(alpha, drift);
+                assert!(
+                    stats.energy > Trial::EXACT_ENERGY - 0.02,
+                    "alpha={alpha} drift={drift}: {}",
+                    stats.energy
+                );
+                // And measurably above for these alphas (E(α) = 3/4·(α + 1/α)).
+                let expect = 0.75 * (alpha + 1.0 / alpha);
+                assert!(
+                    (stats.energy - expect).abs() < 0.1,
+                    "alpha={alpha} drift={drift}: {} vs {expect}",
+                    stats.energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_reasonable_and_drift_differs() {
+        let a = energy_of(1.0, false).acceptance;
+        let b = energy_of(1.0, true).acceptance;
+        assert!(a > 0.3 && a < 1.0, "no-drift acceptance {a}");
+        assert!(b > a, "drifted proposals should be accepted more: {b} vs {a}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut s1 = VmcSampler::new(Trial::new(0.9), 64, 0.3, true, 7);
+        let mut s2 = VmcSampler::new(Trial::new(0.9), 64, 0.3, true, 7);
+        let a = s1.run_block(50);
+        let b = s2.run_block(50);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.acceptance, b.acceptance);
+    }
+}
+
+/// Variational optimization of the trial parameter: golden-section search
+/// over `⟨E_L⟩_α` estimated by short VMC runs. For the harmonic
+/// oscillator the analytic curve is `E(α) = ¾(α + 1/α)`, minimized at
+/// `α = 1` — which the search must find from VMC estimates alone.
+pub fn optimize_alpha(lo: f64, hi: f64, walkers: usize, steps: usize, seed: u64) -> f64 {
+    assert!(lo > 0.0 && hi > lo);
+    let energy = |alpha: f64| {
+        let mut s = VmcSampler::new(crate::model::Trial::new(alpha), walkers, 0.3, true, seed);
+        s.run_block(steps / 4); // equilibrate
+        s.run_block(steps).energy
+    };
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (energy(c), energy(d));
+    for _ in 0..24 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = energy(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = energy(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+#[cfg(test)]
+mod optimize_tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_the_exact_alpha() {
+        let best = optimize_alpha(0.4, 2.2, 512, 400, 2024);
+        assert!(
+            (best - 1.0).abs() < 0.05,
+            "variational optimum should be alpha = 1, got {best}"
+        );
+    }
+
+    #[test]
+    fn energy_curve_matches_the_analytic_form() {
+        // E(α) = 0.75 (α + 1/α) for the Gaussian trial on the 3-D SHO.
+        for alpha in [0.6, 1.0, 1.6] {
+            let mut s = VmcSampler::new(crate::model::Trial::new(alpha), 512, 0.3, true, 7);
+            s.run_block(150);
+            let e = s.run_block(600).energy;
+            let expect = 0.75 * (alpha + 1.0 / alpha);
+            assert!(
+                (e - expect).abs() < 0.05,
+                "alpha {alpha}: {e} vs {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! A compact Fig.-11-style run: profile a GPU-accelerated 3D-FFT rank
+//! with one multi-component PAPI event set, then print an ASCII strip
+//! chart of each signal.
+//!
+//! ```sh
+//! cargo run --release --example fft_profile
+//! ```
+
+use std::sync::Arc;
+
+use papi_repro::fft3d::gpu::GpuFft3dRank;
+use papi_repro::ib;
+use papi_repro::nvml::{GpuDevice, GpuParams};
+use papi_repro::papi::components::{IbComponent, NvmlComponent, PcpComponent};
+use papi_repro::pcp::{PcpContext, Pmcd, PmcdConfig, Pmns};
+use papi_repro::profiling::{Column, Profiler};
+use papi_repro::ranks::{ClusterSim, ProcessGrid};
+
+fn main() {
+    let n = 448;
+    let machine = papi_repro::memsim::SimMachine::summit(11);
+    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let mut cluster = ClusterSim::new(machine, ProcessGrid::new(2, 4), 2);
+    let rank = GpuFft3dRank::new(&mut cluster, Arc::clone(&gpu), n, 4);
+
+    // Wire a PAPI instance spanning three components.
+    let pmns = Pmns::for_machine(cluster.machine().arch());
+    let sockets: Vec<_> = (0..cluster.machine().num_sockets())
+        .map(|s| cluster.machine().socket_shared(s))
+        .collect();
+    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default());
+    let ctx = PcpContext::connect(pmcd.handle(), Some(cluster.machine().socket_shared(0)));
+    let hcas: Vec<Arc<ib::Hca>> = cluster.fabric().node(0).hcas.clone();
+    let mut papi = papi_repro::papi::Papi::new();
+    papi.register(Box::new(PcpComponent::new(ctx, pmns, sockets)));
+    papi.register(Box::new(NvmlComponent::new(vec![Arc::clone(&gpu)])));
+    papi.register(Box::new(IbComponent::new(hcas)));
+
+    let columns = vec![
+        Column::gauge("nvml:::Tesla_V100-SXM2-16GB:device_0:power", "gpu-power"),
+        Column::counter(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+            "mem-read",
+        )
+        .scaled(8.0),
+        Column::counter(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+            "mem-write",
+        )
+        .scaled(8.0),
+        Column::counter("infiniband:::mlx5_0_1_ext:port_recv_data", "ib-recv").scaled(2.0),
+    ];
+    let mut profiler = Profiler::start(&papi, columns).unwrap();
+
+    rank.run(&mut cluster, |phase, cl| {
+        profiler
+            .tick(phase, cl.machine().socket_shared(0).now_seconds())
+            .unwrap();
+    });
+    let timeline = profiler.finish().unwrap();
+
+    println!("3D-FFT (N = {n}, 2x4 grid) — one rank, three components:\n");
+    for col in 0..timeline.columns.len() {
+        println!("{}", timeline.ascii_chart(col, 50));
+    }
+    println!("phase means (mW, B/s, B/s, words/s):");
+    for (phase, means) in timeline.phase_summary() {
+        println!(
+            "  {phase:<9} {:>9.0} {:>12.3e} {:>12.3e} {:>12.3e}",
+            means[0], means[1], means[2], means[3]
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! A compact Fig.-12-style run: the three QMC phases (VMC, VMC with
+//! drift, DMC) under multi-component monitoring, plus the physics check
+//! that the mini-app is a real QMC code (DMC recovers E₀ = 3/2 from an
+//! imperfect trial wavefunction).
+//!
+//! ```sh
+//! cargo run --release --example qmc_profile
+//! ```
+
+use std::sync::Arc;
+
+use papi_repro::nvml::{GpuDevice, GpuParams};
+use papi_repro::papi::components::{IbComponent, NvmlComponent, PcpComponent};
+use papi_repro::pcp::{PcpContext, Pmcd, PmcdConfig, Pmns};
+use papi_repro::profiling::{Column, Profiler};
+use papi_repro::qmc::app::{QmcApp, QmcConfig};
+use papi_repro::ranks::{ClusterSim, ProcessGrid};
+
+fn main() {
+    let machine = papi_repro::memsim::SimMachine::summit(12);
+    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let mut cluster = ClusterSim::new(machine, ProcessGrid::new(2, 2), 2);
+    let app = QmcApp::new(
+        &mut cluster,
+        Arc::clone(&gpu),
+        QmcConfig {
+            walkers: 512,
+            blocks_per_phase: 8,
+            steps_per_block: 40,
+            alpha: 0.8,
+            seed: 12,
+        },
+    );
+
+    let pmns = Pmns::for_machine(cluster.machine().arch());
+    let sockets: Vec<_> = (0..cluster.machine().num_sockets())
+        .map(|s| cluster.machine().socket_shared(s))
+        .collect();
+    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default());
+    let ctx = PcpContext::connect(pmcd.handle(), Some(cluster.machine().socket_shared(0)));
+    let mut papi = papi_repro::papi::Papi::new();
+    papi.register(Box::new(PcpComponent::new(ctx, pmns, sockets)));
+    papi.register(Box::new(NvmlComponent::new(vec![Arc::clone(&gpu)])));
+    papi.register(Box::new(IbComponent::new(
+        cluster.fabric().node(0).hcas.clone(),
+    )));
+
+    let columns = vec![
+        Column::gauge("nvml:::Tesla_V100-SXM2-16GB:device_0:power", "gpu-power"),
+        Column::counter(
+            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+            "mem-read",
+        )
+        .scaled(8.0),
+        Column::counter("infiniband:::mlx5_0_1_ext:port_recv_data", "ib-recv").scaled(2.0),
+    ];
+    let mut profiler = Profiler::start(&papi, columns).unwrap();
+
+    let result = app.run(&mut cluster, |phase, cl| {
+        profiler
+            .tick(phase, cl.machine().socket_shared(0).now_seconds())
+            .unwrap();
+    });
+    let timeline = profiler.finish().unwrap();
+
+    println!("QMC mini-app — one rank, three components:\n");
+    for col in 0..timeline.columns.len() {
+        println!("{}", timeline.ascii_chart(col, 50));
+    }
+    println!("physics:");
+    println!("  VMC        E = {:.4}  (variational, trial α = 0.8)", result.vmc_energy);
+    println!("  VMC drift  E = {:.4}", result.vmc_drift_energy);
+    println!("  DMC        E = {:.4}  (exact ground state = 1.5)", result.dmc_energy);
+}

@@ -1,0 +1,37 @@
+//! # papi-repro — umbrella crate
+//!
+//! Reproduction of *"Memory Traffic and Complete Application Profiling with
+//! PAPI Multi-Component Measurements"* (Barry, Jagode, Danalis, Dongarra) on
+//! a fully simulated POWER9 / Summit software stack.
+//!
+//! This crate re-exports the workspace's public API surface so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate. See the README for a tour and `DESIGN.md` for the system
+//! inventory.
+//!
+//! * [`arch`] — POWER9 machine descriptions (Summit / Tellico).
+//! * [`memsim`] — the memory-hierarchy + nest-counter simulator.
+//! * [`pcp`] — the simulated Performance Co-Pilot daemon and client.
+//! * [`perfuncore`] — direct (privileged) nest counter access.
+//! * [`papi`] — the PAPI-style multi-component middleware (the paper's
+//!   central artifact).
+//! * [`kernels`] — GEMV / capped GEMV / GEMM benchmarks and their analytic
+//!   traffic models.
+//! * [`fft3d`] — the distributed, GPU-accelerated 3D-FFT mini-app.
+//! * [`qmc`] — the QMCPACK-like Monte Carlo mini-app.
+//! * [`nvml`] / [`ib`] — GPU power and InfiniBand substrates.
+//! * [`ranks`] — the MPI-like distributed execution substrate.
+//! * [`profiling`] — the multi-component timeline profiler (Figs. 11–12).
+
+pub use blas_kernels as kernels;
+pub use fft3d;
+pub use ib_sim as ib;
+pub use nvml_sim as nvml;
+pub use p9_arch as arch;
+pub use p9_memsim as memsim;
+pub use papi_profiling as profiling;
+pub use papi_sim as papi;
+pub use pcp_sim as pcp;
+pub use perf_uncore_sim as perfuncore;
+pub use qmc_mini as qmc;
+pub use ranksim as ranks;

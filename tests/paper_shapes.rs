@@ -1,0 +1,207 @@
+//! End-to-end checks of the paper's qualitative findings, each run through
+//! the full stack (kernel trace → memory hierarchy → nest counters → PAPI).
+
+use papi_repro::kernels::{
+    gemm_cache_bounds, gemm_expected, measure_traffic, BatchedGemmTrace, MeasureConfig,
+    NestEvents,
+};
+use papi_repro::memsim::SimMachine;
+use papi_repro::papi::papi::setup_node;
+
+fn gemm_read_ratio(n: u64, threads: usize, quiet: bool, seed: u64) -> f64 {
+    let mut machine = if quiet {
+        SimMachine::quiet(papi_repro::arch::Machine::summit(), seed)
+    } else {
+        SimMachine::summit(seed)
+    };
+    let setup = setup_node(&machine, Vec::new());
+    let events = NestEvents::pcp(&machine);
+    let sample = measure_traffic(
+        &mut machine,
+        &setup.papi,
+        &events,
+        |m, t| BatchedGemmTrace::allocate(m, n, t),
+        |k, tid, core| k.run_thread(tid, core),
+        &MeasureConfig {
+            reps: 3,
+            threads,
+            factored: true,
+        },
+    )
+    .unwrap();
+    sample.read_bytes / gemm_expected(n).batched(threads).read_bytes
+}
+
+/// Fig. 3b / 4b: the batched GEMM's traffic jumps once each core's ~5 MB
+/// L3 share is exceeded (past the Eq. 4 bound at N ≈ 809)…
+#[test]
+fn batched_gemm_jumps_past_the_cache_bound() {
+    let (lo, hi) = gemm_cache_bounds(papi_repro::arch::L3_PER_CORE_BYTES);
+    assert_eq!((lo, hi), (467, 809));
+    // N = 448 sits below Eq. 3 (all three matrices fit a 5 MB share);
+    // N = 1280 is past Eq. 4.
+    let below = gemm_read_ratio(448, 21, true, 31);
+    let above = gemm_read_ratio(1280, 21, true, 31);
+    assert!((0.9..1.3).contains(&below), "below bound: ratio {below}");
+    assert!(above > 10.0, "past bound the traffic must jump: {above}");
+}
+
+/// …while the single-threaded GEMM shows NO jump at the same sizes,
+/// because one active core borrows the idle cores' L3 slices (110 MB).
+#[test]
+fn single_thread_gemm_does_not_jump_thanks_to_slice_borrowing() {
+    let below = gemm_read_ratio(448, 1, true, 32);
+    let above = gemm_read_ratio(1280, 1, true, 32);
+    assert!((0.9..1.3).contains(&below), "ratio {below}");
+    assert!(
+        (0.9..1.5).contains(&above),
+        "single-threaded N=1280 must stay near expectation: {above}"
+    );
+}
+
+/// Fig. 2 vs Fig. 3: one repetition of a small kernel is noise-dominated;
+/// Eq. 5 repetitions recover the expectation.
+#[test]
+fn adaptive_repetitions_recover_small_kernel_traffic() {
+    let n = 96u64;
+    let one_rep = |seed| {
+        let mut machine = SimMachine::summit(seed);
+        let setup = setup_node(&machine, Vec::new());
+        let events = NestEvents::pcp(&machine);
+        measure_traffic(
+            &mut machine,
+            &setup.papi,
+            &events,
+            |m, t| BatchedGemmTrace::allocate(m, n, t),
+            |k, tid, core| k.run_thread(tid, core),
+            &MeasureConfig {
+                reps: 1,
+                threads: 1,
+                factored: true,
+            },
+        )
+        .unwrap()
+        .read_bytes
+    };
+    let many_reps = |seed| {
+        let mut machine = SimMachine::summit(seed);
+        let setup = setup_node(&machine, Vec::new());
+        let events = NestEvents::pcp(&machine);
+        measure_traffic(
+            &mut machine,
+            &setup.papi,
+            &events,
+            |m, t| BatchedGemmTrace::allocate(m, n, t),
+            |k, tid, core| k.run_thread(tid, core),
+            &MeasureConfig {
+                reps: papi_repro::kernels::repetitions(n),
+                threads: 1,
+                factored: true,
+            },
+        )
+        .unwrap()
+        .read_bytes
+    };
+    let expect = gemm_expected(n).read_bytes;
+    // Average absolute relative error across a few seeds.
+    let seeds = [41u64, 42, 43, 44, 45];
+    let err1: f64 = seeds
+        .iter()
+        .map(|&s| (one_rep(s) - expect).abs() / expect)
+        .sum::<f64>()
+        / seeds.len() as f64;
+    let err_n: f64 = seeds
+        .iter()
+        .map(|&s| (many_reps(s) - expect).abs() / expect)
+        .sum::<f64>()
+        / seeds.len() as f64;
+    assert!(
+        err_n * 5.0 < err1,
+        "Eq. 5 repetitions must cut the error hard: 1 rep {err1:.3}, many {err_n:.3}"
+    );
+    assert!(err_n < 0.2, "residual error {err_n:.3}");
+}
+
+/// Section IV: the re-sorting routines' read:write signatures, through the
+/// full measurement stack.
+#[test]
+fn resort_read_write_signatures() {
+    use papi_repro::fft3d::resort::{LocalDims, ResortTrace, S1cfCombined, S1cfNest1, S2cf};
+
+    fn ratio<T: ResortTrace>(t: &T, machine: &mut SimMachine) -> f64 {
+        let shared = machine.socket_shared(0);
+        let before = shared.counters().snapshot();
+        let active = machine.arch().node.sockets[0].usable_cores;
+        machine.run_parallel(0, active, |tid, core| {
+            if tid == 0 {
+                t.run(core);
+            }
+        });
+        machine.flush_socket(0);
+        let d = shared.counters().snapshot().delta(&before);
+        d.total_read() as f64 / d.total_write() as f64
+    }
+
+    let dims = LocalDims::for_grid(224, 2, 4);
+
+    let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 51);
+    let nest1 = S1cfNest1::allocate(&mut m, dims);
+    let r = ratio(&nest1, &mut m);
+    assert!((0.9..1.15).contains(&r), "S1CF nest 1 must be ~1:1, got {r}");
+
+    let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 52);
+    let comb = S1cfCombined::allocate(&mut m, dims);
+    let r = ratio(&comb, &mut m);
+    assert!((1.7..2.3).contains(&r), "combined S1CF must be ~2:1, got {r}");
+
+    let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 53);
+    let s2 = S2cf::for_grid(&mut m, 224, 2, 4);
+    let r = ratio(&s2, &mut m);
+    assert!((0.9..1.15).contains(&r), "S2CF must be ~1:1, got {r}");
+}
+
+/// Fig. 10's bandwidth ordering: S2CF sustains higher bandwidth than S1CF
+/// at the same problem size (better locality).
+#[test]
+fn s2cf_outperforms_s1cf_in_bandwidth() {
+    use papi_repro::fft3d::resort::{LocalDims, ResortTrace, S1cfCombined, S2cf};
+
+    fn bandwidth(run: impl FnOnce(&mut SimMachine) -> (u64, f64)) -> f64 {
+        let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 54);
+        let (bytes, secs) = run(&mut m);
+        bytes as f64 / secs
+    }
+
+    let bw_s1 = bandwidth(|m| {
+        let t = S1cfCombined::allocate(m, LocalDims::for_grid(336, 4, 8));
+        let shared = m.socket_shared(0);
+        let b = shared.counters().snapshot();
+        let t0 = shared.now_seconds();
+        let active = m.arch().node.sockets[0].usable_cores;
+        m.run_parallel(0, active, |tid, core| {
+            if tid == 0 {
+                t.run(core)
+            }
+        });
+        let d = shared.counters().snapshot().delta(&b);
+        (d.total_read() + d.total_write(), shared.now_seconds() - t0)
+    });
+    let bw_s2 = bandwidth(|m| {
+        let t = S2cf::for_grid(m, 336, 4, 8);
+        let shared = m.socket_shared(0);
+        let b = shared.counters().snapshot();
+        let t0 = shared.now_seconds();
+        let active = m.arch().node.sockets[0].usable_cores;
+        m.run_parallel(0, active, |tid, core| {
+            if tid == 0 {
+                t.run(core)
+            }
+        });
+        let d = shared.counters().snapshot().delta(&b);
+        (d.total_read() + d.total_write(), shared.now_seconds() - t0)
+    });
+    assert!(
+        bw_s2 > bw_s1,
+        "S2CF must beat S1CF in bandwidth: {bw_s2:.3e} vs {bw_s1:.3e}"
+    );
+}

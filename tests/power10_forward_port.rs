@@ -1,0 +1,60 @@
+//! The paper's future work: "extend these techniques to accurately
+//! measure memory traffic for other BLAS operations in upcoming IBM
+//! systems (e.g. POWER10)". The measurement stack is machine-agnostic:
+//! point it at a POWER10-class description and everything — PMNS, PCP
+//! daemon, event sets, expectation checks — works unchanged.
+
+use papi_repro::arch::Machine;
+use papi_repro::kernels::{gemm_expected, GemmTrace};
+use papi_repro::memsim::SimMachine;
+use papi_repro::papi::papi::setup_node;
+use papi_repro::papi::EventSet;
+
+#[test]
+fn the_full_stack_runs_on_a_power10_class_machine() {
+    let arch = Machine::power10_like();
+    assert_eq!(arch.node.sockets[0].usable_cores, 15);
+    let mut machine = SimMachine::quiet(arch, 71);
+    let setup = setup_node(&machine, Vec::new());
+
+    // The PMNS publishes the nest metrics on this machine's own last
+    // hardware thread (16 cores x SMT8 -> cpu 127).
+    let mut es = EventSet::new();
+    for ch in 0..8 {
+        es.add_event(&format!(
+            "pcp:::perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_READ_BYTES.value:cpu127"
+        ))
+        .unwrap();
+    }
+
+    // Warm-up + measured rep of a GEMM, as on POWER9.
+    let n = 256;
+    let warm = GemmTrace::allocate(&mut machine, n);
+    machine.run_single(0, |core| warm.run(core));
+    let t = GemmTrace::allocate(&mut machine, n);
+    es.start(&setup.papi).unwrap();
+    machine.run_single(0, |core| t.run(core));
+    let vals = es.stop().unwrap();
+    let reads: i64 = vals.iter().sum();
+
+    let expect = gemm_expected(n).read_bytes;
+    let ratio = reads as f64 / expect;
+    assert!(
+        (0.9..1.2).contains(&ratio),
+        "POWER10-class GEMM expectation holds: ratio {ratio}"
+    );
+}
+
+#[test]
+fn power10_larger_l3_moves_the_cache_bounds() {
+    use papi_repro::kernels::gemm_cache_bounds;
+    let p9 = SimMachine::quiet(Machine::summit(), 1);
+    let p10 = SimMachine::quiet(Machine::power10_like(), 1);
+    // All-cores share: POWER10-class regions are larger per core.
+    let p9_share = p9.l3_share(0, 21);
+    let p10_share = p10.l3_share(0, 15);
+    assert!(p10_share > p9_share);
+    let (lo9, hi9) = gemm_cache_bounds(p9_share);
+    let (lo10, hi10) = gemm_cache_bounds(p10_share);
+    assert!(lo10 > lo9 && hi10 > hi9, "bounds scale with the cache");
+}

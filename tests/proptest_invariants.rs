@@ -1,0 +1,174 @@
+//! Property-based tests over the whole stack.
+
+use proptest::prelude::*;
+
+use papi_repro::fft3d::{distributed_fft3d, naive_dft3d, Complex};
+use papi_repro::memsim::{sector_of, SimMachine};
+use papi_repro::ranks::ProcessGrid;
+
+fn quiet() -> SimMachine {
+    SimMachine::quiet(papi_repro::arch::Machine::tiny(64), 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Counters are monotonic and always multiples of the 64-byte
+    /// transaction granule, for arbitrary load/store mixes.
+    #[test]
+    fn counters_monotonic_and_granular(
+        ops in prop::collection::vec((any::<bool>(), 0u64..1_000_000, 1u64..64), 1..300)
+    ) {
+        let mut m = quiet();
+        let shared = m.socket_shared(0);
+        let mut last_r = 0;
+        let mut last_w = 0;
+        for (is_load, addr, len) in ops {
+            m.run_single(0, |core| {
+                if is_load {
+                    core.load(addr, len);
+                } else {
+                    core.store(addr, len);
+                }
+            });
+            let r = shared.counters().total_read();
+            let w = shared.counters().total_write();
+            prop_assert!(r >= last_r && w >= last_w, "counters went backwards");
+            prop_assert_eq!(r % 64, 0);
+            prop_assert_eq!(w % 64, 0);
+            last_r = r;
+            last_w = w;
+        }
+    }
+
+    /// Every distinct sector loaded from a cold machine costs at least one
+    /// compulsory 64-byte read.
+    #[test]
+    fn compulsory_miss_lower_bound(
+        addrs in prop::collection::vec(0u64..4_000_000, 1..400)
+    ) {
+        let mut m = quiet();
+        let shared = m.socket_shared(0);
+        let mut sectors: Vec<u64> = addrs.iter().map(|&a| sector_of(a)).collect();
+        m.run_single(0, |core| {
+            for &a in &addrs {
+                core.load(a, 8);
+            }
+        });
+        sectors.sort_unstable();
+        sectors.dedup();
+        prop_assert!(
+            shared.counters().total_read() >= 64 * sectors.len() as u64,
+            "reads {} below compulsory bound {}",
+            shared.counters().total_read(),
+            64 * sectors.len() as u64
+        );
+    }
+
+    /// After a full flush, every distinct stored-to sector has been written
+    /// at least once, and total writes never exceed one transaction per
+    /// store operation (plus its sector spill).
+    #[test]
+    fn store_writeback_bounds(
+        stores in prop::collection::vec((0u64..2_000_000, 1u64..32), 1..300)
+    ) {
+        let mut m = quiet();
+        let shared = m.socket_shared(0);
+        m.run_single(0, |core| {
+            for &(a, l) in &stores {
+                core.store(a, l);
+            }
+        });
+        m.flush_socket(0);
+        let mut sectors: Vec<u64> = stores.iter().map(|&(a, _)| sector_of(a)).collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        let w = shared.counters().total_write();
+        prop_assert!(
+            w >= 64 * sectors.len() as u64,
+            "writes {w} below {} distinct sectors",
+            sectors.len()
+        );
+        // Generous upper bound: two transactions per store op (sector
+        // spill + RMW re-writes).
+        prop_assert!(w <= 64 * 2 * (stores.len() as u64 + sectors.len() as u64));
+    }
+
+    /// Identical seeds and traces give bit-identical counters (the whole
+    /// simulator is deterministic).
+    #[test]
+    fn determinism(addrs in prop::collection::vec(0u64..1_000_000, 1..200), seed in 0u64..1000) {
+        let run = |seed: u64| {
+            let mut m = SimMachine::new(
+                papi_repro::arch::Machine::tiny(64),
+                papi_repro::memsim::NoiseConfig::summit(),
+                seed,
+            );
+            let shared = m.socket_shared(0);
+            shared.measurement_touch();
+            m.run_single(0, |core| {
+                for &a in &addrs {
+                    core.load(a, 8);
+                }
+            });
+            (shared.counters().snapshot(), shared.now_cycles())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The distributed FFT agrees with the naive 3-D DFT for arbitrary
+    /// inputs and every grid that divides N = 4.
+    #[test]
+    fn distributed_fft_matches_naive(
+        values in prop::collection::vec(-10.0f64..10.0, 64),
+        grid_pick in 0usize..4
+    ) {
+        let n = 4;
+        let input: Vec<Complex> = values
+            .chunks(1)
+            .enumerate()
+            .map(|(i, v)| Complex::new(v[0], ((i * 7) % 5) as f64 - 2.0))
+            .collect();
+        let grids = [(1, 1), (2, 2), (1, 4), (4, 1)];
+        let (r, c) = grids[grid_pick];
+        let fast = distributed_fft3d(&input, n, ProcessGrid::new(r, c));
+        let slow = naive_dft3d(&input, n);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-7, "{a:?} vs {b:?}");
+        }
+    }
+
+    /// S1CF followed by its inverse index mapping restores the pencil; the
+    /// routine is a pure permutation for any dims.
+    #[test]
+    fn s1cf_is_permutation(p in 1usize..5, r in 1usize..5, c in 1usize..6) {
+        use papi_repro::fft3d::resort::{s1cf_ref, LocalDims};
+        let d = LocalDims::new(p, r, c);
+        let input: Vec<Complex> =
+            (0..d.len()).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let mut out = vec![Complex::ZERO; d.len()];
+        s1cf_ref(&input, &mut out, d);
+        let mut seen: Vec<i64> = out.iter().map(|z| z.re as i64).collect();
+        seen.sort_unstable();
+        let expect: Vec<i64> = (0..d.len() as i64).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// PAPI event names printed by components always re-parse to the same
+    /// component.
+    #[test]
+    fn event_grammar_roundtrip(ch in 0usize..8, cpu in 0u32..176, write in any::<bool>()) {
+        use papi_repro::papi::EventName;
+        let word = if write { "WRITE" } else { "READ" };
+        let pcp = format!(
+            "pcp:::perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_{word}_BYTES.value:cpu{cpu}"
+        );
+        let e = EventName::parse(&pcp).unwrap();
+        prop_assert_eq!(e.component(), "pcp");
+        prop_assert_eq!(e.raw(), pcp.as_str());
+
+        let uncore = format!("power9_nest_mba{ch}::PM_MBA{ch}_{word}_BYTES:cpu={cpu}");
+        let e = EventName::parse(&uncore).unwrap();
+        prop_assert_eq!(e.component(), "perf_uncore");
+    }
+}
