@@ -59,5 +59,10 @@ fn bench_resort_traces(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fft1d, bench_distributed_fft, bench_resort_traces);
+criterion_group!(
+    benches,
+    bench_fft1d,
+    bench_distributed_fft,
+    bench_resort_traces
+);
 criterion_main!(benches);

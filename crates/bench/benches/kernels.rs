@@ -1,8 +1,8 @@
 //! Criterion benchmarks of the BLAS kernels: the numeric reference
 //! implementations and the trace generators that feed Figs. 2-5.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use blas_kernels::{gemm_ref, gemv_ref, CappedGemvTrace, GemmTrace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use p9_arch::Machine;
 use p9_memsim::SimMachine;
 

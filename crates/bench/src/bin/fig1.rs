@@ -14,7 +14,10 @@ fn main() {
     let mut machine = SimMachine::summit(1);
     let t = CappedGemvTrace::allocate(&mut machine, m, n);
 
-    println!("Fig. 1: capped GEMV memory usage (M = {m}, N = {n}, P = {})", t.p);
+    println!(
+        "Fig. 1: capped GEMV memory usage (M = {m}, N = {n}, P = {})",
+        t.p
+    );
     println!();
     let width = 40usize;
     let rows = 16usize;
@@ -22,7 +25,11 @@ fn main() {
     println!("        x (N elements, read once)");
     println!("   +{}+", "-".repeat(width));
     for r in 0..rows.min(cap_rows) {
-        let tag = if r == cap_rows / 2 { " A (allocated: P x N)" } else { "" };
+        let tag = if r == cap_rows / 2 {
+            " A (allocated: P x N)"
+        } else {
+            ""
+        };
         println!("   |{}|{tag}", "#".repeat(width));
     }
     for r in cap_rows..rows {

@@ -26,7 +26,11 @@ fn main() {
     let grid = ProcessGrid::new(8, 8);
 
     let machine = System::Summit.machine(seed);
-    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let gpu = Arc::new(GpuDevice::new(
+        0,
+        GpuParams::default(),
+        machine.socket_shared(0),
+    ));
     let mut cluster = ClusterSim::new(machine, grid, 2);
     let rank = GpuFft3dRank::new(&mut cluster, Arc::clone(&gpu), n, slabs);
 
@@ -66,7 +70,11 @@ fn main() {
             "mem_write_Bps",
         )
         .scaled(8.0),
-        Column::counter("infiniband:::mlx5_0_1_ext:port_recv_data", "ib_recv_words_ps").scaled(2.0),
+        Column::counter(
+            "infiniband:::mlx5_0_1_ext:port_recv_data",
+            "ib_recv_words_ps",
+        )
+        .scaled(2.0),
     ];
 
     let mut profiler = Profiler::start(&papi, columns).expect("profiler start");

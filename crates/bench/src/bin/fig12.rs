@@ -29,7 +29,11 @@ fn main() {
     };
 
     let machine = System::Summit.machine(seed);
-    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let gpu = Arc::new(GpuDevice::new(
+        0,
+        GpuParams::default(),
+        machine.socket_shared(0),
+    ));
     let mut cluster = ClusterSim::new(machine, ProcessGrid::new(4, 4), 2);
     let app = QmcApp::new(&mut cluster, Arc::clone(&gpu), cfg);
 
@@ -67,7 +71,11 @@ fn main() {
             "mem_write_Bps",
         )
         .scaled(8.0),
-        Column::counter("infiniband:::mlx5_0_1_ext:port_recv_data", "ib_recv_words_ps").scaled(2.0),
+        Column::counter(
+            "infiniband:::mlx5_0_1_ext:port_recv_data",
+            "ib_recv_words_ps",
+        )
+        .scaled(2.0),
     ];
 
     let mut profiler = Profiler::start(&papi, columns).expect("profiler start");
@@ -88,6 +96,8 @@ fn main() {
         );
     }
     println!();
-    println!("# physics check: E(vmc)={:.4}, E(vmc-drift)={:.4}, E(dmc)={:.4} (exact 1.5)",
-        result.vmc_energy, result.vmc_drift_energy, result.dmc_energy);
+    println!(
+        "# physics check: E(vmc)={:.4}, E(vmc-drift)={:.4}, E(dmc)={:.4} (exact 1.5)",
+        result.vmc_energy, result.vmc_drift_energy, result.dmc_energy
+    );
 }

@@ -18,7 +18,14 @@ fn main() {
         "Fig. 2: single-threaded GEMM, 1 repetition",
         &[
             ("system", system.name().into()),
-            ("events", if system == System::Summit { "pcp".into() } else { "perf_uncore".into() }),
+            (
+                "events",
+                if system == System::Summit {
+                    "pcp".into()
+                } else {
+                    "perf_uncore".into()
+                },
+            ),
             ("seed", seed.to_string()),
         ],
     );

@@ -23,7 +23,13 @@ fn main() {
             &format!("Fig. 4 ({label}): GEMM, adaptive repetitions, perf_uncore on Tellico"),
             &[("threads", threads.to_string()), ("seed", seed.to_string())],
         );
-        let rows = gemm_sweep(System::Tellico, threads, &sizes, blas_kernels::repetitions, seed);
+        let rows = gemm_sweep(
+            System::Tellico,
+            threads,
+            &sizes,
+            blas_kernels::repetitions,
+            seed,
+        );
         let bounds = blas_kernels::gemm_cache_bounds(p9_arch::L3_PER_CORE_BYTES);
         print_gemm_rows(&rows, bounds);
         println!();

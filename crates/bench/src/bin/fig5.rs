@@ -21,7 +21,10 @@ fn main() {
         &[
             ("system", system.name().into()),
             ("threads", threads.to_string()),
-            ("cap (M=N=P transition)", repro_bench::figures::GEMV_CAP.to_string()),
+            (
+                "cap (M=N=P transition)",
+                repro_bench::figures::GEMV_CAP.to_string(),
+            ),
             ("seed", seed.to_string()),
         ],
     );

@@ -1,0 +1,119 @@
+//! Throughput of the networked PMCD: concurrent loopback clients doing
+//! batched fetch round-trips against one `pcp_wire::PmcdServer`.
+//!
+//! Reports per-client and aggregate round-trips/second plus the server's
+//! own latency histogram (read back through the PMNS, so the benchmark
+//! also exercises the self-metrics path). The run fails if the aggregate
+//! rate drops below 1000 fetch round-trips/s — an order of magnitude
+//! below what a loopback socket should sustain, so a failure means the
+//! server is serialising or wedging somewhere.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p9_memsim::SimMachine;
+use pcp_sim::{PmApi, Pmns};
+use pcp_wire::{PmcdServer, WireClient, WireConfig};
+
+const CLIENTS: usize = 8;
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_secs(2);
+const MIN_AGGREGATE_RTPS: f64 = 1000.0;
+
+fn main() {
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 7);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let server =
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default());
+    let addr = server.local_addr();
+
+    // Each round trip fetches all 16 nest metrics of socket 0 in one
+    // batch, the way PAPI reads an event set.
+    let requests: Vec<_> = pmns
+        .children("")
+        .iter()
+        .map(|n| (pmns.lookup(n).unwrap(), pmns.instance_of_socket(0)))
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts: Vec<u64> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let requests = requests.clone();
+                scope.spawn(move || {
+                    let client = WireClient::connect(addr).expect("connect");
+                    let warm_end = Instant::now() + WARMUP;
+                    while Instant::now() < warm_end {
+                        client.pm_fetch(&requests).expect("warmup fetch");
+                    }
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        client.pm_fetch(&requests).expect("fetch");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        std::thread::sleep(WARMUP + MEASURE);
+        stop.store(true, Ordering::Relaxed);
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let total: u64 = counts.iter().sum();
+    let rtps = total as f64 / MEASURE.as_secs_f64();
+    println!(
+        "wire_bench: {CLIENTS} loopback clients, batch of {} metrics",
+        requests.len()
+    );
+    for (i, n) in counts.iter().enumerate() {
+        println!(
+            "  client {i}: {n} round-trips ({:.0}/s)",
+            *n as f64 / MEASURE.as_secs_f64()
+        );
+    }
+    println!("  aggregate: {total} round-trips, {rtps:.0}/s");
+
+    // Read the server's histogram back through the wire, like any client.
+    let probe = WireClient::connect(addr).expect("connect probe");
+    let hist = [
+        "pmcd.fetch.count",
+        "pmcd.fetch.latency_seconds.le_10us",
+        "pmcd.fetch.latency_seconds.le_50us",
+        "pmcd.fetch.latency_seconds.le_100us",
+        "pmcd.fetch.latency_seconds.le_500us",
+        "pmcd.fetch.latency_seconds.le_1ms",
+        "pmcd.fetch.latency_ns.sum",
+    ];
+    let ids: Vec<_> = hist
+        .iter()
+        .map(|n| {
+            (
+                probe.pm_lookup_name(n).expect("self metric"),
+                pcp_sim::InstanceId(0),
+            )
+        })
+        .collect();
+    let vals = probe.pm_fetch(&ids).expect("self fetch");
+    println!("  server-side fetch latency histogram:");
+    for (name, v) in hist.iter().zip(&vals) {
+        println!("    {name:<42} {v}");
+    }
+    if vals[0] > 0 {
+        println!(
+            "    mean server-side fetch handling: {:.1} us",
+            vals[6] as f64 / vals[0] as f64 / 1000.0
+        );
+    }
+
+    assert!(
+        rtps >= MIN_AGGREGATE_RTPS,
+        "aggregate {rtps:.0} fetch round-trips/s below the {MIN_AGGREGATE_RTPS} floor"
+    );
+    println!("PASS: >= {MIN_AGGREGATE_RTPS} aggregate fetch round-trips/s");
+}

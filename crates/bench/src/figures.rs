@@ -234,8 +234,13 @@ pub fn print_resort_rows(rows: &[ResortRow]) {
 
 /// Print the CSV of a GEMM sweep.
 pub fn print_gemm_rows(rows: &[GemmRow], cache_bounds: (u64, u64)) {
-    println!("# cache-region bounds (Eq. 3/4): N in [{}, {}]", cache_bounds.0, cache_bounds.1);
-    println!("n,reps,expected_read,expected_write,measured_read,measured_write,read_ratio,write_ratio");
+    println!(
+        "# cache-region bounds (Eq. 3/4): N in [{}, {}]",
+        cache_bounds.0, cache_bounds.1
+    );
+    println!(
+        "n,reps,expected_read,expected_write,measured_read,measured_write,read_ratio,write_ratio"
+    );
     for r in rows {
         println!(
             "{},{},{:.0},{:.0},{:.0},{:.0},{:.3},{:.3}",
@@ -253,7 +258,9 @@ pub fn print_gemm_rows(rows: &[GemmRow], cache_bounds: (u64, u64)) {
 
 /// Print the CSV of a GEMV sweep.
 pub fn print_gemv_rows(rows: &[GemvRow]) {
-    println!("m,n,reps,expected_read,expected_write,measured_read,measured_write,read_ratio,write_ratio");
+    println!(
+        "m,n,reps,expected_read,expected_write,measured_read,measured_write,read_ratio,write_ratio"
+    );
     for r in rows {
         println!(
             "{},{},{},{:.0},{:.0},{:.0},{:.0},{:.3},{:.3}",

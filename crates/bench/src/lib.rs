@@ -51,11 +51,15 @@ impl Args {
     }
 
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn flag(&self, key: &str) -> bool {

@@ -206,7 +206,9 @@ mod tests {
     #[test]
     fn matches_naive_dft_for_mixed_lengths() {
         // Powers of two, primes, and the paper's smooth sizes scaled down.
-        for n in [1usize, 2, 3, 4, 5, 7, 8, 12, 16, 21, 32, 42, 63, 64, 84, 128] {
+        for n in [
+            1usize, 2, 3, 4, 5, 7, 8, 12, 16, 21, 32, 42, 63, 64, 84, 128,
+        ] {
             let input = ramp(n);
             let mut out = input.clone();
             fft(&mut out);

@@ -75,26 +75,27 @@ impl GpuFft3dRank {
         let grid = cluster.grid();
 
         // --- Phase: GPU 1-D FFT batches (z, later y and x). -------------
-        let gpu_phase = |name: &str, cl: &mut ClusterSim, tick: &mut dyn FnMut(&str, &mut ClusterSim)| {
-            let lines_per_slab = lines.div_ceil(self.slabs as u64);
-            let mut done = 0u64;
-            while done < lines {
-                let batch = lines_per_slab.min(lines - done);
-                let slab_bytes = batch * self.n as u64 * 16;
-                // Tick after each op so samplers see the phase's internal
-                // structure: host-read surge, power spike, host-write surge.
-                self.gpu.submit_sync(GpuOp::H2D { bytes: slab_bytes });
-                tick(name, cl);
-                self.gpu.submit_sync(GpuOp::Kernel {
-                    flops: batch as f64 * fft_flops(self.n as u64),
-                    mem_bytes: 2 * slab_bytes,
-                });
-                tick(name, cl);
-                self.gpu.submit_sync(GpuOp::D2H { bytes: slab_bytes });
-                done += batch;
-                tick(name, cl);
-            }
-        };
+        let gpu_phase =
+            |name: &str, cl: &mut ClusterSim, tick: &mut dyn FnMut(&str, &mut ClusterSim)| {
+                let lines_per_slab = lines.div_ceil(self.slabs as u64);
+                let mut done = 0u64;
+                while done < lines {
+                    let batch = lines_per_slab.min(lines - done);
+                    let slab_bytes = batch * self.n as u64 * 16;
+                    // Tick after each op so samplers see the phase's internal
+                    // structure: host-read surge, power spike, host-write surge.
+                    self.gpu.submit_sync(GpuOp::H2D { bytes: slab_bytes });
+                    tick(name, cl);
+                    self.gpu.submit_sync(GpuOp::Kernel {
+                        flops: batch as f64 * fft_flops(self.n as u64),
+                        mem_bytes: 2 * slab_bytes,
+                    });
+                    tick(name, cl);
+                    self.gpu.submit_sync(GpuOp::D2H { bytes: slab_bytes });
+                    done += batch;
+                    tick(name, cl);
+                }
+            };
 
         gpu_phase("fft-z", cluster, &mut tick);
 

@@ -59,7 +59,10 @@ impl GemmTrace {
                 // One pass over the B column-octet: N sectors, stride N
                 // doubles. (Columns j8*8 ..= j8*8+7 share these sectors.)
                 for k in 0..n {
-                    core.load(self.b.elem(k * n + j8 * elems_per_sector, F64_BYTES), F64_BYTES);
+                    core.load(
+                        self.b.elem(k * n + j8 * elems_per_sector, F64_BYTES),
+                        F64_BYTES,
+                    );
                     core.compute(2);
                 }
                 if j8 == 0 {
@@ -88,7 +91,9 @@ pub struct BatchedGemmTrace {
 impl BatchedGemmTrace {
     pub fn allocate(machine: &mut SimMachine, n: u64, threads: usize) -> Self {
         BatchedGemmTrace {
-            instances: (0..threads).map(|_| GemmTrace::allocate(machine, n)).collect(),
+            instances: (0..threads)
+                .map(|_| GemmTrace::allocate(machine, n))
+                .collect(),
         }
     }
 
@@ -196,8 +201,10 @@ mod tests {
         assert_eq!(b.threads(), 4);
         for i in 0..4 {
             for j in i + 1..4 {
-                assert!(b.instances[i].c.end() <= b.instances[j].a.base()
-                    || b.instances[j].c.end() <= b.instances[i].a.base());
+                assert!(
+                    b.instances[i].c.end() <= b.instances[j].a.base()
+                        || b.instances[j].c.end() <= b.instances[i].a.base()
+                );
             }
         }
     }

@@ -162,12 +162,7 @@ mod tests {
     use p9_arch::Machine;
     use papi_sim::papi::setup_node;
 
-    fn run_gemm(
-        quiet: bool,
-        n: u64,
-        cfg: &MeasureConfig,
-        seed: u64,
-    ) -> TrafficSample {
+    fn run_gemm(quiet: bool, n: u64, cfg: &MeasureConfig, seed: u64) -> TrafficSample {
         let mut m = if quiet {
             SimMachine::quiet(Machine::summit(), seed)
         } else {

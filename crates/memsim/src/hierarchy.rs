@@ -311,8 +311,7 @@ impl CoreSim {
         target.add(CoreEvent::StCmpl, s.stores - f.stores);
         target.add(
             CoreEvent::LdMissL1,
-            (s.l2_hits + s.l3_hits + s.demand_misses)
-                - (f.l2_hits + f.l3_hits + f.demand_misses),
+            (s.l2_hits + s.l3_hits + s.demand_misses) - (f.l2_hits + f.l3_hits + f.demand_misses),
         );
         target.add(
             CoreEvent::DataFromMem,
@@ -469,7 +468,8 @@ impl CoreSim {
             && self.prefetch.sequential_stream_at(sector);
         let mut out = std::mem::take(&mut self.scratch_store);
         out.clear();
-        self.stores.store_miss(lo, hi - lo, bypass_allowed, &mut out);
+        self.stores
+            .store_miss(lo, hi - lo, bypass_allowed, &mut out);
         self.apply_store_outcomes(&out);
         self.scratch_store = out;
     }

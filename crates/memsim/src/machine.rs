@@ -220,7 +220,10 @@ impl SimMachine {
                         let mut core = CoreSim::new(
                             (arch.l1d.capacity_bytes, arch.l1d.ways),
                             (arch.l2.capacity_bytes / 2, arch.l2.ways),
-                            (p9_arch::L3_PER_CORE_BYTES.min(arch.l3_slice.capacity_bytes), arch.l3_slice.ways),
+                            (
+                                p9_arch::L3_PER_CORE_BYTES.min(arch.l3_slice.capacity_bytes),
+                                arch.l3_slice.ways,
+                            ),
                             shared.counters_arc(),
                             costs,
                         );
@@ -509,10 +512,7 @@ mod tests {
 
     #[test]
     fn privilege_tokens_follow_machine_kind() {
-        assert_eq!(
-            SimMachine::summit(1).user_privilege(),
-            PrivilegeLevel::User
-        );
+        assert_eq!(SimMachine::summit(1).user_privilege(), PrivilegeLevel::User);
         assert_eq!(
             SimMachine::tellico(1).user_privilege(),
             PrivilegeLevel::Elevated

@@ -98,7 +98,11 @@ impl NoiseConfig {
             return (0, 0);
         }
         (
-            sample_lognormal(rng, self.background_read_rate * seconds, self.background_sigma),
+            sample_lognormal(
+                rng,
+                self.background_read_rate * seconds,
+                self.background_sigma,
+            ),
             sample_lognormal(
                 rng,
                 self.background_write_rate * seconds,
@@ -141,9 +145,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
         let mean = 100_000.0;
-        let total: u64 = (0..n)
-            .map(|_| sample_lognormal(&mut rng, mean, 0.7))
-            .sum();
+        let total: u64 = (0..n).map(|_| sample_lognormal(&mut rng, mean, 0.7)).sum();
         let empirical = total as f64 / n as f64;
         assert!(
             (empirical - mean).abs() / mean < 0.05,
@@ -156,7 +158,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let cfg = NoiseConfig::summit();
         let n = 2_000;
-        let sum_short: u64 = (0..n).map(|_| cfg.sample_background(&mut rng, 0.01).0).sum();
+        let sum_short: u64 = (0..n)
+            .map(|_| cfg.sample_background(&mut rng, 0.01).0)
+            .sum();
         let sum_long: u64 = (0..n).map(|_| cfg.sample_background(&mut rng, 1.0).0).sum();
         let ratio = sum_long as f64 / sum_short as f64;
         assert!(ratio > 50.0 && ratio < 200.0, "ratio {ratio}");

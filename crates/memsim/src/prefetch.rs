@@ -212,8 +212,8 @@ impl PrefetchEngine {
         // Rule 3: adopt / refine a stride hypothesis on the closest entry.
         if let Some((i, delta)) = closest {
             let s = &mut self.table[i];
-            let adoptable = s.stride == 0
-                || (s.confirms < CONFIRMATIONS && delta.abs() < s.stride.abs());
+            let adoptable =
+                s.stride == 0 || (s.confirms < CONFIRMATIONS && delta.abs() < s.stride.abs());
             if adoptable {
                 s.stride = delta;
                 s.confirms = 1;
@@ -299,7 +299,10 @@ mod tests {
         let reqs = drive(&mut e, &[100, 101, 102, 103, 104]);
         // After CONFIRMATIONS same-stride transitions we must prefetch.
         assert!(reqs[3].contains(&104) || reqs[3].contains(&105));
-        assert!(!e.stride_stream_active(), "stride-1 is not a stride-N stream");
+        assert!(
+            !e.stride_stream_active(),
+            "stride-1 is not a stride-N stream"
+        );
     }
 
     #[test]

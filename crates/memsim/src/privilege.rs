@@ -74,7 +74,10 @@ impl fmt::Display for PrivilegeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PrivilegeError::PermissionDenied => {
-                write!(f, "permission denied: nest counters require elevated privileges")
+                write!(
+                    f,
+                    "permission denied: nest counters require elevated privileges"
+                )
             }
         }
     }

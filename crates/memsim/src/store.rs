@@ -150,9 +150,7 @@ impl StoreEngine {
     }
 
     fn find(&self, sector: u64) -> Option<usize> {
-        self.wcb
-            .iter()
-            .position(|e| e.valid && e.sector == sector)
+        self.wcb.iter().position(|e| e.valid && e.sector == sector)
     }
 
     fn victim(&self) -> usize {
@@ -210,7 +208,11 @@ fn chunk_mask(lo: u64, hi: u64) -> u8 {
 mod tests {
     use super::*;
 
-    fn outcomes(engine: &mut StoreEngine, stores: &[(u64, u64)], bypass: bool) -> Vec<StoreOutcome> {
+    fn outcomes(
+        engine: &mut StoreEngine,
+        stores: &[(u64, u64)],
+        bypass: bool,
+    ) -> Vec<StoreOutcome> {
         let mut out = Vec::new();
         for &(addr, len) in stores {
             engine.store_miss(addr, len, bypass, &mut out);

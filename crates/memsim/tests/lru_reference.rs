@@ -55,7 +55,11 @@ impl RefLru {
         // (empty tail slots count as positions).
         let evicted = if self.list.len() >= self.ways {
             let (s, d) = self.list.pop().unwrap();
-            Some(if d { Evicted::Dirty(s) } else { Evicted::Clean(s) })
+            Some(if d {
+                Evicted::Dirty(s)
+            } else {
+                Evicted::Clean(s)
+            })
         } else {
             None
         };

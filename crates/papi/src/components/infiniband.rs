@@ -34,9 +34,9 @@ impl IbComponent {
             .payload()
             .split_once(':')
             .ok_or_else(|| PapiError::Invalid(format!("malformed infiniband event {ev}")))?;
-        let dev = dev_port
-            .strip_suffix("_1_ext")
-            .ok_or_else(|| PapiError::NoSuchEvent(format!("{ev}: only port 1 ext counters exist")))?;
+        let dev = dev_port.strip_suffix("_1_ext").ok_or_else(|| {
+            PapiError::NoSuchEvent(format!("{ev}: only port 1 ext counters exist"))
+        })?;
         let hca = self
             .hcas
             .iter()

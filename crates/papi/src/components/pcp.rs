@@ -11,21 +11,46 @@ use crate::component::{Component, EventGroup, EventInfo};
 use crate::error::PapiError;
 use crate::event::EventName;
 use p9_memsim::machine::SocketShared;
-use pcp_sim::{InstanceId, MetricId, PcpContext, PcpError, Pmns};
+use pcp_sim::{InstanceId, MetricId, PcpContext, PcpError, PmApi, Pmns};
 
 /// The `pcp` component.
+///
+/// Generic over the transport: any [`PmApi`] implementation works — the
+/// in-process [`PcpContext`] or a `pcp_wire::WireClient` connected to a
+/// networked PMCD over TCP. The component's behaviour is identical either
+/// way; only where the fetch round-trip cost comes from differs.
 pub struct PcpComponent {
-    ctx: Arc<PcpContext>,
+    ctx: Arc<dyn PmApi>,
     pmns: Pmns,
     /// Socket-shared handles by socket index, for start/stop overhead.
     sockets: Vec<Arc<SocketShared>>,
 }
 
 impl PcpComponent {
-    /// Wire the component to a connected client context. `pmns` must match
-    /// the daemon's namespace; `sockets` are the node's sockets in index
-    /// order.
+    /// Wire the component to an in-process client context. `pmns` must
+    /// match the daemon's namespace; `sockets` are the node's sockets in
+    /// index order.
     pub fn new(ctx: PcpContext, pmns: Pmns, sockets: Vec<Arc<SocketShared>>) -> Self {
+        Self::with_client(ctx, pmns, sockets)
+    }
+
+    /// Wire the component to any [`PmApi`] transport.
+    ///
+    /// Panics if the transport reports a negative or non-finite simulated
+    /// fetch latency — such a value would silently corrupt every measured
+    /// window, so it is rejected here at construction rather than detected
+    /// in analysis.
+    pub fn with_client(
+        ctx: impl PmApi + 'static,
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+    ) -> Self {
+        let latency = ctx.fetch_latency_s();
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "PmApi transport reports invalid fetch latency {latency}; \
+             it must be finite and non-negative"
+        );
         PcpComponent {
             ctx: Arc::new(ctx),
             pmns,
@@ -49,13 +74,10 @@ impl PcpComponent {
                 )))
             }
         };
-        let id = self
-            .ctx
-            .pm_lookup_name(metric)
-            .map_err(|e| match e {
-                PcpError::NoSuchMetric(m) => PapiError::NoSuchEvent(m),
-                other => PapiError::System(other.to_string()),
-            })?;
+        let id = self.ctx.pm_lookup_name(metric).map_err(|e| match e {
+            PcpError::NoSuchMetric(m) => PapiError::NoSuchEvent(m),
+            other => PapiError::System(other.to_string()),
+        })?;
         Ok((id, inst))
     }
 }
@@ -106,7 +128,7 @@ impl Component for PcpComponent {
 }
 
 struct PcpGroup {
-    ctx: Arc<PcpContext>,
+    ctx: Arc<dyn PmApi>,
     requests: Vec<(MetricId, InstanceId)>,
     /// Sockets whose counters observe this measurement's own footprint.
     touch: Vec<Arc<SocketShared>>,
@@ -201,10 +223,16 @@ mod tests {
         ];
         let mut g = comp.create_group(&events).unwrap();
         // Pre-start traffic must not be counted.
-        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
         g.start().unwrap();
-        m.socket_shared(0).counters().record_sector(0, Direction::Read);
-        m.socket_shared(0).counters().record_sector(8, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(8, Direction::Read);
         let v = g.read().unwrap();
         assert_eq!(v, vec![128, 0]);
         let v = g.stop().unwrap();
@@ -220,7 +248,9 @@ mod tests {
         .unwrap()];
         let mut g = comp.create_group(&ev).unwrap();
         g.start().unwrap();
-        m.socket_shared(0).counters().record_sector(2, Direction::Write);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(2, Direction::Write);
         g.reset().unwrap();
         assert_eq!(g.read().unwrap(), vec![0]);
     }
@@ -243,16 +273,14 @@ mod tests {
     #[test]
     fn bad_events_rejected() {
         let (_m, _d, comp) = setup();
-        let no_cpu = EventName::parse(
-            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value",
-        )
-        .unwrap();
+        let no_cpu =
+            EventName::parse("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+                .unwrap();
         assert!(matches!(
             comp.create_group(&[no_cpu]),
             Err(PapiError::Invalid(_))
         ));
-        let unknown =
-            EventName::parse("pcp:::perfevent.hwcounters.bogus.value:cpu87").unwrap();
+        let unknown = EventName::parse("pcp:::perfevent.hwcounters.bogus.value:cpu87").unwrap();
         assert!(matches!(
             comp.create_group(&[unknown]),
             Err(PapiError::NoSuchEvent(_))
@@ -268,9 +296,50 @@ mod tests {
         .unwrap()];
         let mut g = comp.create_group(&ev).unwrap();
         g.start().unwrap();
-        m.socket_shared(1).counters().record_sector(0, Direction::Read);
-        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        m.socket_shared(1)
+            .counters()
+            .record_sector(0, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
         assert_eq!(g.read().unwrap(), vec![64]);
+    }
+
+    /// A transport stub whose only job is to report a broken latency.
+    struct BadLatency(f64);
+
+    impl PmApi for BadLatency {
+        fn pm_lookup_name(&self, name: &str) -> Result<MetricId, PcpError> {
+            Err(PcpError::NoSuchMetric(name.into()))
+        }
+        fn pm_get_desc(&self, _id: MetricId) -> Result<pcp_sim::MetricDesc, PcpError> {
+            Err(PcpError::BadMetricId)
+        }
+        fn pm_get_children(&self, _prefix: &str) -> Result<Vec<String>, PcpError> {
+            Ok(vec![])
+        }
+        fn pm_fetch(&self, _reqs: &[(MetricId, InstanceId)]) -> Result<Vec<u64>, PcpError> {
+            Ok(vec![])
+        }
+        fn fetch_latency_s(&self) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fetch latency")]
+    fn negative_transport_latency_rejected_at_construction() {
+        let m = SimMachine::quiet(Machine::summit(), 11);
+        let pmns = Pmns::for_machine(m.arch());
+        let _ = PcpComponent::with_client(BadLatency(-1e-6), pmns, vec![m.socket_shared(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fetch latency")]
+    fn nan_transport_latency_rejected_at_construction() {
+        let m = SimMachine::quiet(Machine::summit(), 11);
+        let pmns = Pmns::for_machine(m.arch());
+        let _ = PcpComponent::with_client(BadLatency(f64::NAN), pmns, vec![m.socket_shared(0)]);
     }
 
     #[test]

@@ -185,8 +185,12 @@ mod tests {
         ];
         let mut g = comp.create_group(&evs).unwrap();
         g.start().unwrap();
-        m.socket_shared(0).counters().record_sector(0, Direction::Read);
-        m.socket_shared(0).counters().record_sector(8, Direction::Write);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(8, Direction::Write);
         assert_eq!(g.stop().unwrap(), vec![64, 64]);
     }
 

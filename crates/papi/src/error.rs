@@ -11,10 +11,7 @@ pub enum PapiError {
     NoSuchComponent(String),
     /// `PAPI_ECMP`: the component is present but disabled (e.g. lacking
     /// privileges), with the reason recorded at init.
-    ComponentDisabled {
-        component: String,
-        reason: String,
-    },
+    ComponentDisabled { component: String, reason: String },
     /// `PAPI_EPERM`: operation requires privileges the context lacks.
     Permission(String),
     /// `PAPI_EISRUN`: the event set is already running.
@@ -54,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_includes_code_names() {
-        assert!(PapiError::NoSuchEvent("x".into()).to_string().contains("ENOEVNT"));
+        assert!(PapiError::NoSuchEvent("x".into())
+            .to_string()
+            .contains("ENOEVNT"));
         assert!(PapiError::IsRunning.to_string().contains("EISRUN"));
         assert!(PapiError::NotRunning.to_string().contains("ENOTRUN"));
         let e = PapiError::ComponentDisabled {

@@ -109,7 +109,10 @@ mod tests {
     fn parses_nvml_and_ib_forms() {
         let e = EventName::parse("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
         assert_eq!(e.component(), "nvml");
-        assert_eq!(e.payload_parts(), vec!["Tesla_V100-SXM2-16GB", "device_0", "power"]);
+        assert_eq!(
+            e.payload_parts(),
+            vec!["Tesla_V100-SXM2-16GB", "device_0", "power"]
+        );
         let e = EventName::parse("infiniband:::mlx5_0_1_ext:port_recv_data").unwrap();
         assert_eq!(e.component(), "infiniband");
     }

@@ -177,18 +177,20 @@ mod tests {
         let m = SimMachine::quiet(p9_arch::Machine::summit(), 91);
         let setup = setup_node(&m, Vec::new());
         let mut es = EventSet::new();
-        es.add_event(
-            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
-        )
-        .unwrap();
+        es.add_event("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87")
+            .unwrap();
         es.start(&setup.papi).unwrap();
 
         let mut acc = vec![0i64];
-        m.socket_shared(0).counters().record_sector(0, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
         es.accum(&mut acc).unwrap();
         assert_eq!(acc, vec![64]);
         // Baseline was reset: a second accum only adds the new delta.
-        m.socket_shared(0).counters().record_sector(8, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(8, Direction::Read);
         es.accum(&mut acc).unwrap();
         assert_eq!(acc, vec![128]);
         // And the running read starts from the new baseline too.
@@ -200,7 +202,8 @@ mod tests {
         let m = SimMachine::quiet(p9_arch::Machine::summit(), 92);
         let setup = setup_node(&m, Vec::new());
         let mut es = EventSet::new();
-        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power")
+            .unwrap();
         let mut buf = vec![0i64];
         assert_eq!(es.accum(&mut buf).unwrap_err(), PapiError::NotRunning);
         es.start(&setup.papi).unwrap();

@@ -198,11 +198,13 @@ mod tests {
         let setup = setup_node(&m, Vec::new());
         let status = setup.papi.component_status();
         assert!(status.iter().find(|s| s.name == "pcp").unwrap().enabled);
-        assert!(status
-            .iter()
-            .find(|s| s.name == "perf_uncore")
-            .unwrap()
-            .enabled);
+        assert!(
+            status
+                .iter()
+                .find(|s| s.name == "perf_uncore")
+                .unwrap()
+                .enabled
+        );
         assert!(!status.iter().find(|s| s.name == "nvml").unwrap().enabled);
     }
 
@@ -211,7 +213,8 @@ mod tests {
         let m = SimMachine::quiet(Machine::summit(), 21);
         let setup = setup_node(&m, Vec::new());
         let mut es = EventSet::new();
-        es.add_event("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0").unwrap();
+        es.add_event("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0")
+            .unwrap();
         match es.start(&setup.papi) {
             Err(PapiError::ComponentDisabled { component, .. }) => {
                 assert_eq!(component, "perf_uncore")
@@ -227,12 +230,17 @@ mod tests {
         let mut es = EventSet::new();
         es.add_event("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87")
             .unwrap();
-        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power")
+            .unwrap();
         es.add_event("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87")
             .unwrap();
         es.start(&setup.papi).unwrap();
-        m.socket_shared(0).counters().record_sector(0, Direction::Read);
-        m.socket_shared(0).counters().record_sector(8, Direction::Write);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(0, Direction::Read);
+        m.socket_shared(0)
+            .counters()
+            .record_sector(8, Direction::Write);
         let v = es.read().unwrap();
         assert_eq!(v[0], 64); // pcp read bytes
         assert_eq!(v[1], 52_000); // idle GPU power in mW
@@ -248,7 +256,8 @@ mod tests {
         let setup = setup_node(&m, Vec::new());
         let mut es = EventSet::new();
         assert!(matches!(es.start(&setup.papi), Err(PapiError::Invalid(_))));
-        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+        es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power")
+            .unwrap();
         assert_eq!(es.read().unwrap_err(), PapiError::NotRunning);
         es.start(&setup.papi).unwrap();
         assert_eq!(es.start(&setup.papi).unwrap_err(), PapiError::IsRunning);

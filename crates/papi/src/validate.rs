@@ -223,8 +223,7 @@ mod tests {
         let mut m = SimMachine::quiet(Machine::summit(), 31);
         let setup = setup_node(&m, Vec::new());
         let (reads, writes) = pcp_nest_event_names(&m);
-        let report =
-            validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
+        let report = validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
         assert_eq!(report.checks.len(), 32);
         // Prefetch overshoot and partial flushes stay within 2%.
         assert!(report.all_within(0.02), "max error {}", report.max_error());
@@ -235,8 +234,7 @@ mod tests {
         let mut m = SimMachine::quiet(Machine::tellico(), 31);
         let setup = setup_node(&m, Vec::new());
         let (reads, writes) = uncore_nest_event_names();
-        let report =
-            validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
+        let report = validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 8 << 20).unwrap();
         assert!(report.all_within(0.02), "max error {}", report.max_error());
     }
 
@@ -257,8 +255,10 @@ mod tests {
         let mut m = SimMachine::summit(31);
         let setup = setup_node(&m, Vec::new());
         let (reads, writes) = pcp_nest_event_names(&m);
-        let report =
-            validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 64 * 512).unwrap();
-        assert!(!report.all_within(0.02), "noise should dominate a 32 KiB kernel");
+        let report = validate_nest_traffic(&setup.papi, &mut m, &reads, &writes, 64 * 512).unwrap();
+        assert!(
+            !report.all_within(0.02),
+            "noise should dominate a 32 KiB kernel"
+        );
     }
 }

@@ -1,0 +1,711 @@
+//! The networked PMCD: a multi-client TCP server over the PDU protocol.
+//!
+//! Architecture (std only, no async runtime):
+//!
+//! * an **accept thread** runs a nonblocking `TcpListener` poll loop. New
+//!   connections go into a bounded queue; when every worker is busy and
+//!   the queue is full the server answers `Error{Busy}` and closes — load
+//!   is shed at the door instead of queueing unboundedly.
+//! * a **bounded worker pool** (default 32 threads) pulls connections off
+//!   the queue. One worker serves one client at a time, request by
+//!   request, so each client has at most one fetch in flight; batch size
+//!   is additionally capped by [`WireConfig::max_fetch_batch`]. That pair
+//!   of bounds is the backpressure story.
+//! * every socket read carries a **timeout tick** so workers notice the
+//!   shutdown flag promptly; [`PmcdServer::shutdown`] stops the accept
+//!   loop, drains the workers, and joins every thread.
+//! * a malformed PDU earns the offending client an `Error{BadPdu}` and a
+//!   closed connection — other clients are unaffected, the server stays
+//!   up. Disconnects mid-request are absorbed the same way.
+//!
+//! The server also measures *itself*: PDU counts, client counts, and a
+//! fetch-latency histogram are exported as `pmcd.*` metrics through the
+//! same lookup/fetch path as the nest counters (ids in a reserved high
+//! range so they cannot collide with the PMNS table).
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use p9_memsim::machine::SocketShared;
+use p9_memsim::{Direction, PrivilegeError, PrivilegeToken};
+use pcp_sim::pmns::{InstanceId, MetricId, MetricSemantics, Pmns};
+
+use crate::pdu::{read_pdu, write_pdu, ErrorCode, Pdu, WireError, PROTOCOL_VERSION};
+
+/// Base of the reserved id range for the server's self-metrics. The PMNS
+/// table indexes from zero, so anything at or above this base is a
+/// `pmcd.*` operational metric.
+pub const SELF_METRIC_BASE: u32 = 0x4000_0000;
+
+/// Fetch-latency histogram bucket upper bounds, nanoseconds. The last
+/// bucket is implicit (+inf).
+const LATENCY_BUCKETS_NS: [u64; 5] = [10_000, 50_000, 100_000, 500_000, 1_000_000];
+
+/// Self-metric table: name, units, semantics.
+const SELF_METRICS: [(&str, &str, MetricSemantics); 13] = [
+    ("pmcd.pdu.in", "count", MetricSemantics::Counter),
+    ("pmcd.pdu.out", "count", MetricSemantics::Counter),
+    ("pmcd.pdu.error", "count", MetricSemantics::Counter),
+    ("pmcd.client.current", "count", MetricSemantics::Instant),
+    ("pmcd.client.total", "count", MetricSemantics::Counter),
+    ("pmcd.client.rejected", "count", MetricSemantics::Counter),
+    ("pmcd.fetch.count", "count", MetricSemantics::Counter),
+    (
+        "pmcd.fetch.latency_ns.sum",
+        "nanosecond",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_seconds.le_10us",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_seconds.le_50us",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_seconds.le_100us",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_seconds.le_500us",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_seconds.le_1ms",
+        "count",
+        MetricSemantics::Counter,
+    ),
+];
+// `pmcd.fetch.count` doubles as the +inf bucket: every fetch lands in it.
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct WireConfig {
+    /// Worker threads — the maximum number of simultaneously served
+    /// clients.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// server starts answering `Error{Busy}`.
+    pub pending: usize,
+    /// Per-read timeout tick. Bounds how long a worker can ignore the
+    /// shutdown flag; not an idle-disconnect timeout.
+    pub read_timeout: Duration,
+    /// Per-write timeout; a client that stops draining its socket is
+    /// disconnected rather than wedging a worker.
+    pub write_timeout: Duration,
+    /// Largest PDU payload accepted from a client.
+    pub max_payload: u32,
+    /// Largest number of `(metric, instance)` pairs in one fetch.
+    pub max_fetch_batch: usize,
+    /// Inject daemon memory traffic on each nest-counter fetch (the
+    /// observer-effect knob, as in `pcp_sim::PmcdConfig`).
+    pub fetch_touch: bool,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            workers: 32,
+            pending: 64,
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(2),
+            max_payload: crate::pdu::DEFAULT_MAX_PAYLOAD,
+            max_fetch_batch: 1024,
+            fetch_touch: false,
+        }
+    }
+}
+
+/// Operational counters, updated lock-free by the workers.
+#[derive(Default)]
+struct ServerStats {
+    pdu_in: AtomicU64,
+    pdu_out: AtomicU64,
+    pdu_err: AtomicU64,
+    clients_current: AtomicU64,
+    clients_total: AtomicU64,
+    clients_rejected: AtomicU64,
+    fetch_count: AtomicU64,
+    fetch_ns_sum: AtomicU64,
+    /// Non-cumulative bucket counts; cumulated on read.
+    latency_buckets: [AtomicU64; 5],
+}
+
+impl ServerStats {
+    fn record_fetch(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.fetch_count.fetch_add(1, Ordering::Relaxed);
+        self.fetch_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        if let Some(b) = LATENCY_BUCKETS_NS.iter().position(|&ub| ns <= ub) {
+            self.latency_buckets[b].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Value of self-metric `idx` (index into [`SELF_METRICS`]).
+    /// Histogram buckets read cumulatively, Prometheus-style.
+    fn value(&self, idx: usize) -> Option<u64> {
+        Some(match idx {
+            0 => self.pdu_in.load(Ordering::Relaxed),
+            1 => self.pdu_out.load(Ordering::Relaxed),
+            2 => self.pdu_err.load(Ordering::Relaxed),
+            3 => self.clients_current.load(Ordering::Relaxed),
+            4 => self.clients_total.load(Ordering::Relaxed),
+            5 => self.clients_rejected.load(Ordering::Relaxed),
+            6 => self.fetch_count.load(Ordering::Relaxed),
+            7 => self.fetch_ns_sum.load(Ordering::Relaxed),
+            8..=12 => self.latency_buckets[..=idx - 8]
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .sum(),
+            _ => return None,
+        })
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pdu_in: self.pdu_in.load(Ordering::Relaxed),
+            pdu_out: self.pdu_out.load(Ordering::Relaxed),
+            pdu_error: self.pdu_err.load(Ordering::Relaxed),
+            clients_current: self.clients_current.load(Ordering::Relaxed),
+            clients_total: self.clients_total.load(Ordering::Relaxed),
+            clients_rejected: self.clients_rejected.load(Ordering::Relaxed),
+            fetch_count: self.fetch_count.load(Ordering::Relaxed),
+            fetch_latency_ns_sum: self.fetch_ns_sum.load(Ordering::Relaxed),
+            fetch_latency_buckets: std::array::from_fn(|i| {
+                self.latency_buckets[i].load(Ordering::Relaxed)
+            }),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's operational counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub pdu_in: u64,
+    pub pdu_out: u64,
+    pub pdu_error: u64,
+    pub clients_current: u64,
+    pub clients_total: u64,
+    pub clients_rejected: u64,
+    pub fetch_count: u64,
+    pub fetch_latency_ns_sum: u64,
+    /// Non-cumulative counts for the ≤10 µs/50 µs/100 µs/500 µs/1 ms
+    /// buckets; fetches above 1 ms appear only in `fetch_count`.
+    pub fetch_latency_buckets: [u64; 5],
+}
+
+/// Everything a worker needs to answer requests.
+struct Shared {
+    pmns: Pmns,
+    sockets: Vec<Arc<SocketShared>>,
+    config: WireConfig,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+/// The networked PMCD. Binding requires elevation, exactly like spawning
+/// the in-process daemon — the server is the privileged side of the
+/// export.
+pub struct PmcdServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PmcdServer {
+    /// Bind and start serving. `addr` is typically `127.0.0.1:0` (the
+    /// chosen port is available from [`PmcdServer::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        token: &PrivilegeToken,
+        config: WireConfig,
+    ) -> Result<Self, PrivilegeError> {
+        token.require_elevated()?;
+        assert!(config.workers >= 1, "server needs at least one worker");
+        assert!(config.max_fetch_batch >= 1);
+        let listener = TcpListener::bind(addr).expect("bind pmcd listener");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let local_addr = listener.local_addr().expect("listener address");
+
+        let shared = Arc::new(Shared {
+            pmns,
+            sockets,
+            config: config.clone(),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.pending);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&conn_rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pmcd-worker-{i}"))
+                    .spawn(move || worker_loop(shared, rx))
+                    .expect("spawn pmcd worker"),
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("pmcd-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, conn_tx))
+            .expect("spawn pmcd accept thread");
+
+        Ok(PmcdServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// Bind as the *system* would (mints the elevated token itself) —
+    /// mirrors `Pmcd::spawn_system`.
+    pub fn bind_system<A: ToSocketAddrs>(
+        addr: A,
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        config: WireConfig,
+    ) -> Self {
+        Self::bind(addr, pmns, sockets, &PrivilegeToken::elevated(), config)
+            .expect("elevated token cannot be rejected")
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current operational counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stop accepting, finish in-flight requests, join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PmcdServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => match conn_tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(stream)) => reject_busy(&shared, stream),
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Dropping conn_tx disconnects idle workers.
+}
+
+/// Shed load at the door: tell the client we are saturated and close.
+fn reject_busy(shared: &Shared, mut stream: TcpStream) {
+    shared
+        .stats
+        .clients_rejected
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let frame = Pdu::Error {
+        code: ErrorCode::Busy,
+        detail: "server at capacity".into(),
+    }
+    .encode();
+    let _ = stream.write_all(&frame);
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => serve_client(&shared, stream),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one client connection to completion. Never panics on client
+/// misbehaviour: malformed frames, oversized lengths, and mid-request
+/// disconnects all end *this* connection only.
+fn serve_client(shared: &Shared, stream: TcpStream) {
+    let stats = &shared.stats;
+    stats.clients_current.fetch_add(1, Ordering::Relaxed);
+    let client_id = stats.clients_total.fetch_add(1, Ordering::Relaxed) + 1;
+    serve_client_inner(shared, stream, client_id);
+    stats.clients_current.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
+    let cfg = &shared.config;
+    let stats = &shared.stats;
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+
+    let mut handshaken = false;
+    loop {
+        let pdu = match read_pdu(&mut stream, cfg.max_payload) {
+            Ok(pdu) => pdu,
+            Err(WireError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::Closed) | Err(WireError::Io(_)) => return,
+            Err(WireError::Stalled) => {
+                // Half a frame then silence: the stream cannot be
+                // resynchronised, and the worker must not stay wedged.
+                stats.pdu_err.fetch_add(1, Ordering::Relaxed);
+                let _ = write_pdu(
+                    &mut stream,
+                    &Pdu::Error {
+                        code: ErrorCode::BadPdu,
+                        detail: "stalled mid-frame".into(),
+                    },
+                );
+                return;
+            }
+            Err(WireError::Pdu(e)) => {
+                // Malformed input: tell the client why, then hang up.
+                stats.pdu_err.fetch_add(1, Ordering::Relaxed);
+                let _ = write_pdu(
+                    &mut stream,
+                    &Pdu::Error {
+                        code: ErrorCode::BadPdu,
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        stats.pdu_in.fetch_add(1, Ordering::Relaxed);
+
+        // The CREDS exchange must come first and exactly once.
+        let reply = if !handshaken {
+            match pdu {
+                Pdu::Creds { version } if version == PROTOCOL_VERSION => {
+                    handshaken = true;
+                    Pdu::CredsAck {
+                        version: PROTOCOL_VERSION,
+                        client_id,
+                    }
+                }
+                Pdu::Creds { version } => Pdu::Error {
+                    code: ErrorCode::BadVersion,
+                    detail: format!(
+                        "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                    ),
+                },
+                _ => Pdu::Error {
+                    code: ErrorCode::BadPdu,
+                    detail: "first pdu must be CREDS".into(),
+                },
+            }
+        } else {
+            handle_request(shared, pdu)
+        };
+
+        let fatal = matches!(
+            reply,
+            Pdu::Error {
+                code: ErrorCode::BadPdu | ErrorCode::BadVersion,
+                ..
+            }
+        );
+        if matches!(reply, Pdu::Error { .. }) {
+            stats.pdu_err.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_pdu(&mut stream, &reply).is_err() {
+            return; // client went away mid-reply
+        }
+        stats.pdu_out.fetch_add(1, Ordering::Relaxed);
+        if fatal {
+            return;
+        }
+    }
+}
+
+/// Answer one post-handshake request.
+fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
+    let pmns = &shared.pmns;
+    match pdu {
+        Pdu::Lookup { name } => {
+            if let Some(id) = pmns.lookup(&name) {
+                Pdu::LookupResult { id: id.0 }
+            } else if let Some(idx) = SELF_METRICS.iter().position(|(n, _, _)| *n == name) {
+                Pdu::LookupResult {
+                    id: SELF_METRIC_BASE + idx as u32,
+                }
+            } else {
+                Pdu::Error {
+                    code: ErrorCode::NoSuchMetric,
+                    detail: name,
+                }
+            }
+        }
+        Pdu::Desc { id } => {
+            if id >= SELF_METRIC_BASE {
+                let idx = (id - SELF_METRIC_BASE) as usize;
+                match SELF_METRICS.get(idx) {
+                    Some(&(name, units, semantics)) => Pdu::DescResult {
+                        id,
+                        semantics: encode_semantics(semantics),
+                        channel: 0,
+                        direction: 0,
+                        units: units.into(),
+                        name: name.into(),
+                    },
+                    None => bad_metric(id),
+                }
+            } else {
+                match pmns.desc(MetricId(id)) {
+                    Some(desc) => Pdu::DescResult {
+                        id,
+                        semantics: encode_semantics(desc.semantics),
+                        channel: desc.channel as u32,
+                        direction: encode_direction(desc.direction),
+                        units: desc.units.into(),
+                        name: desc.name.clone(),
+                    },
+                    None => bad_metric(id),
+                }
+            }
+        }
+        Pdu::Children { prefix } => {
+            let mut names: Vec<String> = pmns
+                .children(&prefix)
+                .into_iter()
+                .map(str::to_owned)
+                .collect();
+            names.extend(
+                SELF_METRICS
+                    .iter()
+                    .filter(|(n, _, _)| prefix.is_empty() || n.starts_with(prefix.as_str()))
+                    .map(|(n, _, _)| (*n).to_owned()),
+            );
+            Pdu::ChildrenResult { names }
+        }
+        Pdu::Instance => Pdu::InstanceResult {
+            num_cpus: pmns.num_instances(),
+            nest_cpus: pmns.nest_cpus().to_vec(),
+        },
+        Pdu::Fetch { requests } => {
+            if requests.len() > shared.config.max_fetch_batch {
+                return Pdu::Error {
+                    code: ErrorCode::TooLarge,
+                    detail: format!(
+                        "fetch batch of {} exceeds limit {}",
+                        requests.len(),
+                        shared.config.max_fetch_batch
+                    ),
+                };
+            }
+            let start = Instant::now();
+            let values = requests
+                .iter()
+                .map(|&(id, inst)| fetch_one(shared, id, inst))
+                .collect();
+            shared.stats.record_fetch(start.elapsed());
+            Pdu::FetchResult { values }
+        }
+        // Anything else is a server-to-client PDU arriving backwards.
+        other => Pdu::Error {
+            code: ErrorCode::BadPdu,
+            detail: format!("unexpected pdu {other:?}"),
+        },
+    }
+}
+
+fn bad_metric(id: u32) -> Pdu {
+    Pdu::Error {
+        code: ErrorCode::BadMetricId,
+        detail: format!("metric id {id}"),
+    }
+}
+
+/// Mirror of the in-process daemon's fetch: nest values appear on each
+/// socket's publisher CPU, other valid CPUs read zero, invalid instances
+/// read `None`. Self-metrics accept any instance.
+fn fetch_one(shared: &Shared, id: u32, inst: u32) -> Option<u64> {
+    if id >= SELF_METRIC_BASE {
+        return shared.stats.value((id - SELF_METRIC_BASE) as usize);
+    }
+    let pmns = &shared.pmns;
+    let desc = pmns.desc(MetricId(id))?;
+    if !pmns.valid_instance(InstanceId(inst)) {
+        return None;
+    }
+    match pmns.socket_of_instance(InstanceId(inst)) {
+        Some(socket) => {
+            let shared_sock = shared.sockets.get(socket)?;
+            if shared.config.fetch_touch {
+                shared_sock.measurement_touch();
+            }
+            Some(shared_sock.counters().channel(desc.channel, desc.direction))
+        }
+        None => Some(0),
+    }
+}
+
+/// Wire encoding of [`MetricSemantics`]: 0 = counter, 1 = instant.
+pub fn encode_semantics(s: MetricSemantics) -> u8 {
+    match s {
+        MetricSemantics::Counter => 0,
+        MetricSemantics::Instant => 1,
+    }
+}
+
+/// Inverse of [`encode_semantics`].
+pub fn decode_semantics(v: u8) -> Option<MetricSemantics> {
+    match v {
+        0 => Some(MetricSemantics::Counter),
+        1 => Some(MetricSemantics::Instant),
+        _ => None,
+    }
+}
+
+/// Wire encoding of [`Direction`]: 0 = read, 1 = write.
+pub fn encode_direction(d: Direction) -> u8 {
+    match d {
+        Direction::Read => 0,
+        Direction::Write => 1,
+    }
+}
+
+/// Inverse of [`encode_direction`].
+pub fn decode_direction(v: u8) -> Option<Direction> {
+    match v {
+        0 => Some(Direction::Read),
+        1 => Some(Direction::Write),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p9_arch::Machine;
+    use p9_memsim::SimMachine;
+
+    fn start_server(config: WireConfig) -> (SimMachine, PmcdServer) {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let sockets = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
+        let server = PmcdServer::bind_system("127.0.0.1:0", pmns, sockets, config);
+        (m, server)
+    }
+
+    #[test]
+    fn bind_requires_elevation() {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let sockets = vec![m.socket_shared(0)];
+        let err = PmcdServer::bind(
+            "127.0.0.1:0",
+            pmns,
+            sockets,
+            &PrivilegeToken::user(),
+            WireConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let (_m, mut server) = start_server(WireConfig::default());
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let (_m, server) = start_server(WireConfig {
+            workers: 2,
+            ..WireConfig::default()
+        });
+        drop(server); // must not hang
+    }
+
+    #[test]
+    fn self_metric_table_indexes_are_stable() {
+        // The histogram arithmetic in ServerStats::value depends on this
+        // ordering; lock it down.
+        assert_eq!(SELF_METRICS[0].0, "pmcd.pdu.in");
+        assert_eq!(SELF_METRICS[6].0, "pmcd.fetch.count");
+        assert_eq!(SELF_METRICS[8].0, "pmcd.fetch.latency_seconds.le_10us");
+        assert_eq!(SELF_METRICS[12].0, "pmcd.fetch.latency_seconds.le_1ms");
+        assert_eq!(SELF_METRICS.len(), 13);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_cumulate() {
+        let stats = ServerStats::default();
+        stats.record_fetch(Duration::from_nanos(5_000)); // <= 10us
+        stats.record_fetch(Duration::from_nanos(60_000)); // <= 100us
+        stats.record_fetch(Duration::from_millis(5)); // above all buckets
+        assert_eq!(stats.value(8), Some(1)); // le_10us
+        assert_eq!(stats.value(9), Some(1)); // le_50us (cumulative)
+        assert_eq!(stats.value(10), Some(2)); // le_100us
+        assert_eq!(stats.value(12), Some(2)); // le_1ms
+        assert_eq!(stats.value(6), Some(3)); // fetch.count = +inf
+        assert_eq!(stats.value(99), None);
+    }
+}

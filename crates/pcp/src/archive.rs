@@ -14,7 +14,7 @@
 //!   between consecutive samples (what `pmval -a` prints for counter
 //!   semantics).
 
-use crate::client::{PcpContext, PcpError};
+use crate::client::{PcpError, PmApi};
 use crate::pmns::{InstanceId, MetricId};
 
 /// One archived sample row.
@@ -34,6 +34,36 @@ pub struct Archive {
 }
 
 impl Archive {
+    /// An empty archive for the given metric set. Used by external
+    /// recorders (e.g. the `pcp-wire` sampling scheduler) that append via
+    /// [`Archive::push`].
+    pub fn new(metrics: Vec<(MetricId, InstanceId)>) -> Self {
+        Archive {
+            metrics,
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a sample row. Records must arrive in non-decreasing time
+    /// order; out-of-order rows are rejected so replay queries stay
+    /// meaningful.
+    pub fn push(&mut self, record: ArchiveRecord) {
+        assert_eq!(
+            record.values.len(),
+            self.metrics.len(),
+            "record width must match the archive's metric set"
+        );
+        if let Some(last) = self.records.last() {
+            assert!(
+                record.time_s >= last.time_s,
+                "archive records must be time-ordered: {} after {}",
+                record.time_s,
+                last.time_s
+            );
+        }
+        self.records.push(record);
+    }
+
     /// The metric set this archive records.
     pub fn metrics(&self) -> &[(MetricId, InstanceId)] {
         &self.metrics
@@ -76,9 +106,10 @@ impl Archive {
     }
 }
 
-/// A sampling logger over one PCP connection.
+/// A sampling logger over one PCP connection (any [`PmApi`] transport:
+/// the in-process context or a `pcp-wire` TCP client).
 pub struct PmLogger {
-    ctx: PcpContext,
+    ctx: Box<dyn PmApi>,
     interval_s: f64,
     next_due: f64,
     archive: Archive,
@@ -88,19 +119,16 @@ impl PmLogger {
     /// Log `metrics` every `interval_s` of simulated time. The first
     /// sample is taken at the first `poll`.
     pub fn new(
-        ctx: PcpContext,
+        ctx: impl PmApi + 'static,
         metrics: Vec<(MetricId, InstanceId)>,
         interval_s: f64,
     ) -> Self {
         assert!(interval_s > 0.0);
         PmLogger {
-            ctx,
+            ctx: Box::new(ctx),
             interval_s,
             next_due: 0.0,
-            archive: Archive {
-                metrics,
-                records: Vec::new(),
-            },
+            archive: Archive::new(metrics),
         }
     }
 
@@ -134,6 +162,7 @@ impl PmLogger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::PcpContext;
     use crate::daemon::{Pmcd, PmcdConfig};
     use crate::pmns::Pmns;
     use p9_arch::Machine;

@@ -23,6 +23,9 @@ pub enum PcpError {
     BadInstance,
     /// The daemon is gone.
     Disconnected,
+    /// The transport misbehaved (malformed PDU, I/O error, timeout).
+    /// Produced only by networked transports such as `pcp-wire`.
+    Protocol(String),
 }
 
 impl std::fmt::Display for PcpError {
@@ -32,11 +35,40 @@ impl std::fmt::Display for PcpError {
             PcpError::BadMetricId => write!(f, "invalid metric id"),
             PcpError::BadInstance => write!(f, "invalid instance"),
             PcpError::Disconnected => write!(f, "pmcd connection lost"),
+            PcpError::Protocol(detail) => write!(f, "pcp protocol error: {detail}"),
         }
     }
 }
 
 impl std::error::Error for PcpError {}
+
+/// The PMAPI operations every transport provides.
+///
+/// Two implementations exist: [`PcpContext`] (in-process daemon reached
+/// over channels; charges the configured fallback latency to the
+/// simulated clock) and `pcp_wire::WireClient` (a real TCP connection to
+/// a `pcp_wire::PmcdServer`; pays the actual socket round-trip instead).
+/// The PAPI PCP component is written against this trait so either
+/// transport can back it unchanged.
+pub trait PmApi: Send + Sync {
+    /// Resolve a metric name (`pmLookupName`).
+    fn pm_lookup_name(&self, name: &str) -> Result<MetricId, PcpError>;
+
+    /// Metric descriptor (`pmLookupDesc`).
+    fn pm_get_desc(&self, id: MetricId) -> Result<MetricDesc, PcpError>;
+
+    /// Names under a prefix (`pmGetChildren`, flattened).
+    fn pm_get_children(&self, prefix: &str) -> Result<Vec<String>, PcpError>;
+
+    /// Fetch current values (`pmFetch`), one round trip for the group.
+    fn pm_fetch(&self, requests: &[(MetricId, InstanceId)]) -> Result<Vec<u64>, PcpError>;
+
+    /// Simulated seconds this transport charges per fetch round-trip.
+    /// Zero for transports that pay a real (wall-clock) cost instead.
+    fn fetch_latency_s(&self) -> f64 {
+        0.0
+    }
+}
 
 /// An unprivileged connection to the PMCD.
 pub struct PcpContext {
@@ -96,10 +128,7 @@ impl PcpContext {
     /// Fetch current values (`pmFetch`). One round trip for the whole
     /// group — PAPI batches all PCP events of an event set into a single
     /// fetch, and the round-trip latency is charged once.
-    pub fn pm_fetch(
-        &self,
-        requests: &[(MetricId, InstanceId)],
-    ) -> Result<Vec<u64>, PcpError> {
+    pub fn pm_fetch(&self, requests: &[(MetricId, InstanceId)]) -> Result<Vec<u64>, PcpError> {
         let (tx, rx) = oneshot();
         self.handle
             .sender()
@@ -116,6 +145,28 @@ impl PcpContext {
             .into_iter()
             .map(|v| v.ok_or(PcpError::BadInstance))
             .collect()
+    }
+}
+
+impl PmApi for PcpContext {
+    fn pm_lookup_name(&self, name: &str) -> Result<MetricId, PcpError> {
+        PcpContext::pm_lookup_name(self, name)
+    }
+
+    fn pm_get_desc(&self, id: MetricId) -> Result<MetricDesc, PcpError> {
+        PcpContext::pm_get_desc(self, id)
+    }
+
+    fn pm_get_children(&self, prefix: &str) -> Result<Vec<String>, PcpError> {
+        PcpContext::pm_get_children(self, prefix)
+    }
+
+    fn pm_fetch(&self, requests: &[(MetricId, InstanceId)]) -> Result<Vec<u64>, PcpError> {
+        PcpContext::pm_fetch(self, requests)
+    }
+
+    fn fetch_latency_s(&self) -> f64 {
+        self.handle.config().fetch_latency_s
     }
 }
 

@@ -3,8 +3,10 @@
 //! The daemon is a real OS thread. It is the *only* component on a Summit
 //! node holding an elevated privilege token, and therefore the only path by
 //! which an unprivileged client can observe the nest counters. Requests
-//! arrive over a crossbeam channel; each request carries its own response
-//! channel (a rendezvous), mirroring PCP's PDU exchange.
+//! arrive over a `std::sync::mpsc` channel; each request carries its own
+//! response channel (a bounded rendezvous), mirroring PCP's PDU exchange.
+//! (A *real* networked PMCD over TCP lives in the `pcp-wire` crate; this
+//! in-process daemon remains the zero-infrastructure fallback.)
 //!
 //! Two fidelity knobs model the indirection the paper evaluates:
 //!
@@ -16,10 +18,9 @@
 //!   socket). Off by default; the PAPI layer injects start/stop overhead
 //!   itself.
 
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use crate::pmns::{InstanceId, MetricDesc, MetricId, Pmns};
 use p9_memsim::machine::SocketShared;
@@ -29,6 +30,11 @@ use p9_memsim::{PrivilegeError, PrivilegeToken};
 #[derive(Clone, Debug)]
 pub struct PmcdConfig {
     /// Seconds of simulated latency added per fetch round-trip.
+    ///
+    /// This is the *fallback* latency model, used only by the in-process
+    /// transport ([`crate::client::PcpContext`]) where there is no real
+    /// network hop to measure. The wire transport (`pcp-wire`) pays the
+    /// actual socket round-trip instead and ignores this knob.
     pub fetch_latency_s: f64,
     /// Inject daemon memory traffic on each fetch.
     pub fetch_touch: bool,
@@ -44,24 +50,36 @@ impl Default for PmcdConfig {
     }
 }
 
+impl PmcdConfig {
+    /// Panic on configurations that would silently corrupt every
+    /// measurement window (negative or NaN latency).
+    pub fn validate(&self) {
+        assert!(
+            self.fetch_latency_s.is_finite() && self.fetch_latency_s >= 0.0,
+            "PmcdConfig::fetch_latency_s must be finite and non-negative, got {}",
+            self.fetch_latency_s
+        );
+    }
+}
+
 /// Requests a client can send (a trimmed PCP PDU set).
 #[derive(Debug)]
 pub enum Request {
     LookupName {
         name: String,
-        reply: Sender<Option<MetricId>>,
+        reply: SyncSender<Option<MetricId>>,
     },
     Desc {
         id: MetricId,
-        reply: Sender<Option<MetricDesc>>,
+        reply: SyncSender<Option<MetricDesc>>,
     },
     Children {
         prefix: String,
-        reply: Sender<Vec<String>>,
+        reply: SyncSender<Vec<String>>,
     },
     Fetch {
         requests: Vec<(MetricId, InstanceId)>,
-        reply: Sender<Vec<Option<u64>>>,
+        reply: SyncSender<Vec<Option<u64>>>,
     },
     Shutdown,
 }
@@ -101,7 +119,8 @@ impl Pmcd {
         config: PmcdConfig,
     ) -> Result<Self, PrivilegeError> {
         token.require_elevated()?;
-        let (tx, rx) = unbounded::<Request>();
+        config.validate();
+        let (tx, rx) = channel::<Request>();
         let cfg = config.clone();
         let thread = std::thread::Builder::new()
             .name("pmcd".into())
@@ -117,11 +136,7 @@ impl Pmcd {
     /// elevated token itself, so this succeeds even on machines where users
     /// are unprivileged. This is how Summit exposes nest counters to
     /// everyone.
-    pub fn spawn_system(
-        pmns: Pmns,
-        sockets: Vec<Arc<SocketShared>>,
-        config: PmcdConfig,
-    ) -> Self {
+    pub fn spawn_system(pmns: Pmns, sockets: Vec<Arc<SocketShared>>, config: PmcdConfig) -> Self {
         Self::spawn(pmns, sockets, &PrivilegeToken::elevated(), config)
             .expect("elevated token cannot be rejected")
     }
@@ -201,8 +216,8 @@ fn fetch_one(
 }
 
 /// Create a rendezvous channel for one request/response exchange.
-pub(crate) fn oneshot<T>() -> (Sender<T>, Receiver<T>) {
-    bounded(1)
+pub(crate) fn oneshot<T>() -> (SyncSender<T>, Receiver<T>) {
+    sync_channel(1)
 }
 
 #[cfg(test)]
@@ -236,7 +251,12 @@ mod tests {
         let m = SimMachine::quiet(Machine::summit(), 1);
         let pmns = Pmns::for_machine(m.arch());
         let sockets = vec![m.socket_shared(0)];
-        let err = Pmcd::spawn(pmns, sockets, &PrivilegeToken::user(), PmcdConfig::default());
+        let err = Pmcd::spawn(
+            pmns,
+            sockets,
+            &PrivilegeToken::user(),
+            PmcdConfig::default(),
+        );
         assert!(err.is_err());
     }
 
@@ -293,6 +313,36 @@ mod tests {
     fn shutdown_on_drop_joins_thread() {
         let (_m, d) = setup();
         drop(d); // must not hang
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch_latency_s")]
+    fn negative_latency_rejected_at_construction() {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let _ = Pmcd::spawn_system(
+            pmns,
+            vec![m.socket_shared(0)],
+            PmcdConfig {
+                fetch_latency_s: -1e-6,
+                fetch_touch: false,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch_latency_s")]
+    fn nan_latency_rejected_at_construction() {
+        let m = SimMachine::quiet(Machine::summit(), 1);
+        let pmns = Pmns::for_machine(m.arch());
+        let _ = Pmcd::spawn_system(
+            pmns,
+            vec![m.socket_shared(0)],
+            PmcdConfig {
+                fetch_latency_s: f64::NAN,
+                fetch_touch: false,
+            },
+        );
     }
 }
 

@@ -15,7 +15,8 @@
 //!   hardware thread of each socket: `cpu87` / `cpu175` on Summit).
 //! * [`daemon`] — the PMCD: a real OS thread owning an elevated
 //!   [`p9_memsim::PrivilegeToken`] and handles to every socket's counters,
-//!   servicing lookup/describe/fetch requests over crossbeam channels.
+//!   servicing lookup/describe/fetch requests over `std::sync::mpsc`
+//!   channels. (The `pcp-wire` crate provides the networked equivalent.)
 //! * [`client`] — `PcpContext`, the unprivileged client: `pm_lookup_name`,
 //!   `pm_get_desc`, `pm_fetch`.
 //! * [`archive`] — the `pmlogger` side: cadence-driven sampling into
@@ -33,6 +34,6 @@ pub mod daemon;
 pub mod pmns;
 
 pub use archive::{Archive, ArchiveRecord, PmLogger};
-pub use client::{PcpContext, PcpError};
+pub use client::{PcpContext, PcpError, PmApi};
 pub use daemon::{Pmcd, PmcdConfig, PmcdHandle};
 pub use pmns::{InstanceId, MetricDesc, MetricId, MetricSemantics, Pmns};

@@ -67,9 +67,8 @@ impl Pmns {
         let mut metrics = Vec::with_capacity(MBA_CHANNELS * 2);
         for ch in 0..MBA_CHANNELS {
             for (dir, word) in [(Direction::Read, "READ"), (Direction::Write, "WRITE")] {
-                let name = format!(
-                    "perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_{word}_BYTES.value"
-                );
+                let name =
+                    format!("perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_{word}_BYTES.value");
                 metrics.push(MetricDesc {
                     id: MetricId(metrics.len() as u32),
                     name,
@@ -139,6 +138,17 @@ impl Pmns {
     pub fn valid_instance(&self, cpu: InstanceId) -> bool {
         cpu.0 < self.num_cpus
     }
+
+    /// Number of CPU instances in the per-CPU instance domain.
+    pub fn num_instances(&self) -> u32 {
+        self.num_cpus
+    }
+
+    /// Publishing CPU instance of every socket, in socket order (the
+    /// instance-domain payload of the wire protocol's INSTANCE PDU).
+    pub fn nest_cpus(&self) -> &[u32] {
+        &self.nest_cpu
+    }
 }
 
 #[cfg(test)]
@@ -151,9 +161,8 @@ mod tests {
         assert_eq!(pmns.len(), 16);
         for ch in 0..8 {
             for word in ["READ", "WRITE"] {
-                let name = format!(
-                    "perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_{word}_BYTES.value"
-                );
+                let name =
+                    format!("perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_{word}_BYTES.value");
                 let id = pmns.lookup(&name).expect("metric must exist");
                 let desc = pmns.desc(id).unwrap();
                 assert_eq!(desc.channel, ch);

@@ -1,10 +1,16 @@
 //! The PMCD serves many unprivileged clients concurrently — on a real
 //! system every monitoring tool on the node talks to the same daemon.
+//!
+//! Two daemons are exercised: the in-process channel daemon (`Pmcd`) and
+//! the networked TCP server (`pcp_wire::PmcdServer`), including hostile
+//! clients — malformed frames and mid-fetch disconnects must cost the
+//! offender its connection and nobody else anything.
 
 use std::sync::Arc;
 
 use p9_memsim::{Direction, SimMachine};
-use pcp_sim::{InstanceId, PcpContext, Pmcd, PmcdConfig, Pmns};
+use pcp_sim::{InstanceId, PcpContext, PmApi, Pmcd, PmcdConfig, Pmns};
+use pcp_wire::{PmcdServer, WireClient, WireConfig};
 
 #[test]
 fn many_clients_fetch_concurrently_and_consistently() {
@@ -71,4 +77,136 @@ fn clients_can_outlive_each_other() {
         .unwrap();
     assert_eq!(c1.pm_fetch(&[(id, InstanceId(87))]).unwrap(), vec![0]);
     let _ = Arc::strong_count(&machine.socket_shared(0));
+}
+
+/// 16 concurrent TCP clients hammer the wire server while one client
+/// sends a deliberately malformed PDU and another disconnects mid-fetch.
+/// The server must stay up, the honest clients must see consistent
+/// values, and a fresh client must still be served afterwards.
+#[test]
+fn wire_server_survives_hostile_clients_among_sixteen() {
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 75);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let server = PmcdServer::bind_system(
+        "127.0.0.1:0",
+        pmns.clone(),
+        sockets,
+        WireConfig {
+            workers: 20,
+            ..WireConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Fixed traffic before any client connects: 80 sectors, 10 of which
+    // land on channel 0 -> 640 bytes.
+    for s in 0..80u64 {
+        machine
+            .socket_shared(0)
+            .counters()
+            .record_sector(s, Direction::Read);
+    }
+    let id = pmns
+        .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for i in 0..16 {
+            joins.push(scope.spawn(move || match i {
+                // Client 0: handshakes, then sends garbage (bad magic).
+                0 => {
+                    let c = WireClient::connect(addr).unwrap();
+                    c.send_raw(&[0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0]).unwrap();
+                    // The server must answer with a BadPdu error (or have
+                    // already hung up) — never serve garbage silently.
+                    assert!(c.pm_fetch(&[(id, InstanceId(87))]).is_err());
+                }
+                // Client 1: starts a fetch frame, then vanishes mid-frame.
+                1 => {
+                    let c = WireClient::connect(addr).unwrap();
+                    // Header declaring an 84-byte Fetch payload, then only
+                    // 4 payload bytes, then drop: a mid-fetch disconnect.
+                    let mut partial = vec![0x50, 0x43, 1, 0x0b, 0, 0, 0, 84];
+                    partial.extend_from_slice(&10u32.to_be_bytes());
+                    c.send_raw(&partial).unwrap();
+                    drop(c);
+                }
+                // Everyone else fetches honestly and checks the value.
+                _ => {
+                    let c = WireClient::connect(addr).unwrap();
+                    for _ in 0..30 {
+                        let v = c.pm_fetch(&[(id, InstanceId(87))]).unwrap();
+                        assert_eq!(v, vec![640]);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    });
+
+    // The server is still healthy: a fresh client gets served, and the
+    // self-metrics recorded the carnage.
+    let c = WireClient::connect(addr).unwrap();
+    assert_eq!(c.pm_fetch(&[(id, InstanceId(87))]).unwrap(), vec![640]);
+    let stats = server.stats();
+    assert!(stats.clients_total >= 17, "{stats:?}");
+    assert!(stats.pdu_error >= 1, "malformed pdu not counted: {stats:?}");
+    assert_eq!(stats.clients_rejected, 0, "{stats:?}");
+}
+
+/// The wire server's own operational metrics are fetchable through the
+/// same PMNS path as the hardware metrics.
+#[test]
+fn wire_server_self_metrics_fetchable() {
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 76);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let server =
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default());
+    let c = WireClient::connect(server.local_addr()).unwrap();
+
+    // Generate some fetch traffic first.
+    let id = pmns
+        .lookup("perfevent.hwcounters.nest_mba3_imc.PM_MBA3_READ_BYTES.value")
+        .unwrap();
+    for _ in 0..5 {
+        c.pm_fetch(&[(id, InstanceId(87))]).unwrap();
+    }
+
+    let pdu_in = c.pm_lookup_name("pmcd.pdu.in").unwrap();
+    let fetches = c.pm_lookup_name("pmcd.fetch.count").unwrap();
+    let le_1ms = c
+        .pm_lookup_name("pmcd.fetch.latency_seconds.le_1ms")
+        .unwrap();
+    let desc = c.pm_get_desc(pdu_in).unwrap();
+    assert_eq!(desc.name, "pmcd.pdu.in");
+    assert_eq!(desc.units, "count");
+
+    let vals = c
+        .pm_fetch(&[
+            (pdu_in, InstanceId(0)),
+            (fetches, InstanceId(0)),
+            (le_1ms, InstanceId(0)),
+        ])
+        .unwrap();
+    assert!(vals[0] >= 6, "pdu.in {vals:?}"); // creds + lookups + fetches
+    assert_eq!(vals[1], 5, "fetch.count {vals:?}");
+    assert!(
+        vals[2] <= vals[1],
+        "histogram bucket exceeds total {vals:?}"
+    );
+
+    // The pmcd subtree appears in children listings alongside perfevent.
+    let names = c.pm_get_children("pmcd").unwrap();
+    assert!(names.contains(&"pmcd.pdu.in".to_string()));
+    assert!(names.contains(&"pmcd.fetch.latency_seconds.le_1ms".to_string()));
+    assert_eq!(c.pm_get_children("").unwrap().len(), 16 + names.len());
 }

@@ -88,7 +88,10 @@ impl UncoreCounter {
     /// Current counter value in bytes. Nest counters are free-running;
     /// callers take start/stop snapshots and subtract.
     pub fn read(&self) -> u64 {
-        self.shared.counters().channel(self.def.channel, self.def.direction) * self.def.scale
+        self.shared
+            .counters()
+            .channel(self.def.channel, self.def.direction)
+            * self.def.scale
     }
 
     /// The event definition backing this counter.

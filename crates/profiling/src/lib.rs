@@ -94,8 +94,7 @@ impl Timeline {
         order
             .into_iter()
             .map(|phase| {
-                let rows: Vec<&Sample> =
-                    self.samples.iter().filter(|s| s.phase == phase).collect();
+                let rows: Vec<&Sample> = self.samples.iter().filter(|s| s.phase == phase).collect();
                 let n = rows.len().max(1) as f64;
                 let means = (0..self.columns.len())
                     .map(|c| rows.iter().map(|s| s.values[c]).sum::<f64>() / n)

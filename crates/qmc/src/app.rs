@@ -113,9 +113,7 @@ impl QmcApp {
         });
         tick(phase, cluster);
         self.gpu.submit_sync(GpuOp::Kernel {
-            flops: flops_per_walker_step
-                * population as f64
-                * self.cfg.steps_per_block as f64,
+            flops: flops_per_walker_step * population as f64 * self.cfg.steps_per_block as f64,
             mem_bytes: bytes * passes,
         });
         tick(phase, cluster);
@@ -217,7 +215,11 @@ mod tests {
         // Variational estimates sit at/above the ground state; DMC near it.
         assert!(result.vmc_energy > 1.45 && result.vmc_energy < 1.75);
         assert!(result.vmc_drift_energy > 1.45 && result.vmc_drift_energy < 1.75);
-        assert!((result.dmc_energy - 1.5).abs() < 0.1, "{}", result.dmc_energy);
+        assert!(
+            (result.dmc_energy - 1.5).abs() < 0.1,
+            "{}",
+            result.dmc_energy
+        );
     }
 
     #[test]

@@ -186,7 +186,10 @@ mod tests {
         let a = energy_of(1.0, false).acceptance;
         let b = energy_of(1.0, true).acceptance;
         assert!(a > 0.3 && a < 1.0, "no-drift acceptance {a}");
-        assert!(b > a, "drifted proposals should be accepted more: {b} vs {a}");
+        assert!(
+            b > a,
+            "drifted proposals should be accepted more: {b} vs {a}"
+        );
     }
 
     #[test]
@@ -255,10 +258,7 @@ mod optimize_tests {
             s.run_block(150);
             let e = s.run_block(600).energy;
             let expect = 0.75 * (alpha + 1.0 / alpha);
-            assert!(
-                (e - expect).abs() < 0.05,
-                "alpha {alpha}: {e} vs {expect}"
-            );
+            assert!((e - expect).abs() < 0.05, "alpha {alpha}: {e} vs {expect}");
         }
     }
 }

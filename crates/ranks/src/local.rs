@@ -73,7 +73,9 @@ mod tests {
         let comm = LocalComm::new(ProcessGrid::new(1, 3));
         let group = [0, 1, 2];
         // Rank r sends [r*10 + j] as chunk j (chunk size 1).
-        let bufs: Vec<Vec<u32>> = (0..3).map(|r| vec![r * 10, r * 10 + 1, r * 10 + 2]).collect();
+        let bufs: Vec<Vec<u32>> = (0..3)
+            .map(|r| vec![r * 10, r * 10 + 1, r * 10 + 2])
+            .collect();
         let recv = comm.alltoall_group(&group, &bufs);
         assert_eq!(recv[0], vec![0, 10, 20]);
         assert_eq!(recv[1], vec![1, 11, 21]);

@@ -41,7 +41,11 @@ fn main() {
             "{name:<22} {} checks, max relative error {:.4} -> {}",
             report.checks.len(),
             report.max_error(),
-            if report.all_within(0.02) { "PASS" } else { "FAIL" }
+            if report.all_within(0.02) {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
     }
     println!();

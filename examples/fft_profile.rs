@@ -19,7 +19,11 @@ use papi_repro::ranks::{ClusterSim, ProcessGrid};
 fn main() {
     let n = 448;
     let machine = papi_repro::memsim::SimMachine::summit(11);
-    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let gpu = Arc::new(GpuDevice::new(
+        0,
+        GpuParams::default(),
+        machine.socket_shared(0),
+    ));
     let mut cluster = ClusterSim::new(machine, ProcessGrid::new(2, 4), 2);
     let rank = GpuFft3dRank::new(&mut cluster, Arc::clone(&gpu), n, 4);
 

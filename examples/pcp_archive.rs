@@ -3,13 +3,24 @@
 //! archive is replayed as rates afterwards — the retrospective-analysis
 //! workflow Summit's system telemetry uses.
 //!
+//! Two recorders are shown:
+//!
+//! 1. the in-process [`PmLogger`], pumped on *simulated* time as the
+//!    workload advances the socket clock, and
+//! 2. the `pcp-wire` [`SamplingScheduler`], recording over a real TCP
+//!    connection to a live [`PmcdServer`] on its own wall-clock cadence —
+//!    exactly how `pmlogger` runs against a production `pmcd`.
+//!
 //! ```sh
 //! cargo run --release --example pcp_archive
 //! ```
 
+use std::time::Duration;
+
 use papi_repro::kernels::CappedGemvTrace;
 use papi_repro::memsim::SimMachine;
 use papi_repro::pcp::{PcpContext, PmLogger, Pmcd, PmcdConfig, Pmns};
+use papi_repro::wire::{PmcdServer, SamplingScheduler, ScheduleSpec, WireClient, WireConfig};
 
 fn main() {
     let mut machine = SimMachine::summit(33);
@@ -77,4 +88,65 @@ fn main() {
         "\n(reads stream matrix A at memory bandwidth; writes are the thin \
          y vector — the Fig. 5 asymmetry, replayed from an archive)"
     );
+
+    // ----------------------------------------------------------------
+    // Part 2: the same recording workflow against a *live* TCP server.
+    // The scheduler thread samples over the wire while this thread plays
+    // the part of the workload, mutating the counters it records.
+    // ----------------------------------------------------------------
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let server =
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default());
+    println!("\nlive pmcd server on {}", server.local_addr());
+
+    let client = WireClient::connect(server.local_addr()).expect("connect pmlogger client");
+    let metrics = vec![
+        (
+            pmns.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+                .unwrap(),
+            pmns.instance_of_socket(0),
+        ),
+        (
+            pmns.lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value")
+                .unwrap(),
+            pmns.instance_of_socket(0),
+        ),
+    ];
+    let scheduler = SamplingScheduler::start(
+        client,
+        vec![ScheduleSpec {
+            name: "nest-ch0".into(),
+            metrics,
+            interval: Duration::from_millis(10),
+        }],
+    );
+
+    // Generate traffic in bursts while the scheduler samples it.
+    let shared = machine.socket_shared(0);
+    for _ in 0..10 {
+        for s in 0..64u64 {
+            shared
+                .counters()
+                .record_sector(s, papi_repro::memsim::Direction::Read);
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    for (name, archive, err) in scheduler.stop() {
+        println!(
+            "wire archive '{name}': {} wall-clock samples{}",
+            archive.len(),
+            err.map_or(String::new(), |e| format!(" (halted by: {e})"))
+        );
+        if let (Some(first), Some(last)) = (archive.records().first(), archive.records().last()) {
+            println!(
+                "  channel-0 reads grew {} -> {} bytes over {:.2} s of wall time",
+                first.values[0],
+                last.values[0],
+                last.time_s - first.time_s
+            );
+        }
+    }
 }

@@ -18,7 +18,11 @@ use papi_repro::ranks::{ClusterSim, ProcessGrid};
 
 fn main() {
     let machine = papi_repro::memsim::SimMachine::summit(12);
-    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let gpu = Arc::new(GpuDevice::new(
+        0,
+        GpuParams::default(),
+        machine.socket_shared(0),
+    ));
     let mut cluster = ClusterSim::new(machine, ProcessGrid::new(2, 2), 2);
     let app = QmcApp::new(
         &mut cluster,
@@ -68,7 +72,13 @@ fn main() {
         println!("{}", timeline.ascii_chart(col, 50));
     }
     println!("physics:");
-    println!("  VMC        E = {:.4}  (variational, trial α = 0.8)", result.vmc_energy);
+    println!(
+        "  VMC        E = {:.4}  (variational, trial α = 0.8)",
+        result.vmc_energy
+    );
     println!("  VMC drift  E = {:.4}", result.vmc_drift_energy);
-    println!("  DMC        E = {:.4}  (exact ground state = 1.5)", result.dmc_energy);
+    println!(
+        "  DMC        E = {:.4}  (exact ground state = 1.5)",
+        result.dmc_energy
+    );
 }

@@ -53,7 +53,10 @@ fn main() -> Result<(), PapiError> {
     let expected = papi_repro::kernels::gemm_expected(n);
     println!("GEMM N = {n} (one repetition, via PCP):");
     println!("  measured reads : {reads:>12} B");
-    println!("  expected reads : {:>12.0} B  (3·N²·8)", expected.read_bytes);
+    println!(
+        "  expected reads : {:>12.0} B  (3·N²·8)",
+        expected.read_bytes
+    );
     println!("  measured writes: {writes:>12} B");
     println!(
         "  (writes appear as evictions; small problems remain cached — \

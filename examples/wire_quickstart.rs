@@ -1,0 +1,84 @@
+//! Quickstart for the networked PMCD (`pcp-wire`).
+//!
+//! Starts a TCP `PmcdServer` on loopback, connects a `WireClient`, walks
+//! the metric namespace over the wire, and measures a GEMM through the
+//! PAPI PCP component backed by the TCP transport — then reads the
+//! server's *own* operational metrics (`pmcd.*`) through the same
+//! protocol. The daemon profiles itself: the paper's complete-application
+//! -profiling idea applied to the measurement infrastructure.
+//!
+//! ```sh
+//! cargo run --release --example wire_quickstart
+//! ```
+
+use papi_repro::kernels::GemmTrace;
+use papi_repro::memsim::SimMachine;
+use papi_repro::papi::component::Component;
+use papi_repro::papi::components::PcpComponent;
+use papi_repro::papi::EventName;
+use papi_repro::pcp::{InstanceId, PmApi, Pmns};
+use papi_repro::wire::{PmcdServer, WireClient, WireConfig};
+
+fn main() {
+    // A quiet Summit node; the server gets a handle to every socket's
+    // counters, exactly like the in-process daemon.
+    let mut machine = SimMachine::quiet(papi_repro::arch::Machine::summit(), 42);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let server = PmcdServer::bind_system(
+        "127.0.0.1:0",
+        pmns.clone(),
+        sockets.clone(),
+        WireConfig::default(),
+    );
+    println!("pmcd serving on {}", server.local_addr());
+
+    // --- Namespace walk over the wire -------------------------------
+    let client = WireClient::connect(server.local_addr()).expect("connect");
+    println!("connected as client #{}", client.client_id());
+    let names = client.pm_get_children("perfevent").expect("children");
+    println!("{} nest metrics exported; first three:", names.len());
+    for n in names.iter().take(3) {
+        let id = client.pm_lookup_name(n).unwrap();
+        let desc = client.pm_get_desc(id).unwrap();
+        println!("  {n}  (channel {}, {})", desc.channel, desc.units);
+    }
+
+    // --- A measurement through the PAPI component, TCP-backed -------
+    let comp = PcpComponent::with_client(client, pmns.clone(), sockets);
+    let events: Vec<EventName> = (0..8)
+        .map(|ch| {
+            EventName::parse(&format!(
+                "pcp:::perfevent.hwcounters.nest_mba{ch}_imc.PM_MBA{ch}_READ_BYTES.value:cpu87"
+            ))
+            .unwrap()
+        })
+        .collect();
+    let mut group = comp.create_group(&events).unwrap();
+    let gemm = GemmTrace::allocate(&mut machine, 192);
+    group.start().unwrap();
+    machine.run_single(0, |core| gemm.run(core));
+    let values = group.stop().unwrap();
+    let total: i64 = values.iter().sum();
+    println!("\nGEMM n=192 read traffic via TCP-backed PCP: {total} bytes");
+
+    // --- The server measures itself ---------------------------------
+    let probe = WireClient::connect(server.local_addr()).expect("probe");
+    let self_metrics = [
+        "pmcd.pdu.in",
+        "pmcd.pdu.out",
+        "pmcd.fetch.count",
+        "pmcd.client.total",
+    ];
+    let reqs: Vec<_> = self_metrics
+        .iter()
+        .map(|n| (probe.pm_lookup_name(n).unwrap(), InstanceId(0)))
+        .collect();
+    let vals = probe.pm_fetch(&reqs).unwrap();
+    println!("\nserver self-metrics (fetched through the same protocol):");
+    for (n, v) in self_metrics.iter().zip(&vals) {
+        println!("  {n:<20} {v}");
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`arch`] — POWER9 machine descriptions (Summit / Tellico).
 //! * [`memsim`] — the memory-hierarchy + nest-counter simulator.
 //! * [`pcp`] — the simulated Performance Co-Pilot daemon and client.
+//! * [`wire`] — the networked PMCD: binary PDU protocol, multi-client TCP
+//!   server, `WireClient` transport, wall-clock sampling scheduler.
 //! * [`perfuncore`] — direct (privileged) nest counter access.
 //! * [`papi`] — the PAPI-style multi-component middleware (the paper's
 //!   central artifact).
@@ -32,6 +34,7 @@ pub use p9_memsim as memsim;
 pub use papi_profiling as profiling;
 pub use papi_sim as papi;
 pub use pcp_sim as pcp;
+pub use pcp_wire as wire;
 pub use perf_uncore_sim as perfuncore;
 pub use qmc_mini as qmc;
 pub use ranksim as ranks;

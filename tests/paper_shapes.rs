@@ -2,8 +2,7 @@
 //! the full stack (kernel trace → memory hierarchy → nest counters → PAPI).
 
 use papi_repro::kernels::{
-    gemm_cache_bounds, gemm_expected, measure_traffic, BatchedGemmTrace, MeasureConfig,
-    NestEvents,
+    gemm_cache_bounds, gemm_expected, measure_traffic, BatchedGemmTrace, MeasureConfig, NestEvents,
 };
 use papi_repro::memsim::SimMachine;
 use papi_repro::papi::papi::setup_node;
@@ -147,12 +146,18 @@ fn resort_read_write_signatures() {
     let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 51);
     let nest1 = S1cfNest1::allocate(&mut m, dims);
     let r = ratio(&nest1, &mut m);
-    assert!((0.9..1.15).contains(&r), "S1CF nest 1 must be ~1:1, got {r}");
+    assert!(
+        (0.9..1.15).contains(&r),
+        "S1CF nest 1 must be ~1:1, got {r}"
+    );
 
     let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 52);
     let comb = S1cfCombined::allocate(&mut m, dims);
     let r = ratio(&comb, &mut m);
-    assert!((1.7..2.3).contains(&r), "combined S1CF must be ~2:1, got {r}");
+    assert!(
+        (1.7..2.3).contains(&r),
+        "combined S1CF must be ~2:1, got {r}"
+    );
 
     let mut m = SimMachine::quiet(papi_repro::arch::Machine::summit(), 53);
     let s2 = S2cf::for_grid(&mut m, 224, 2, 4);

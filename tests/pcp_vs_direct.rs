@@ -85,7 +85,11 @@ fn isolated_paths_have_equivalent_accuracy() {
         );
         let setup = setup_node(&machine, Vec::new());
         let mut es = EventSet::new();
-        let events = if use_pcp { pcp_events() } else { uncore_events() };
+        let events = if use_pcp {
+            pcp_events()
+        } else {
+            uncore_events()
+        };
         for e in events {
             es.add_event(&e).unwrap();
         }
@@ -107,6 +111,90 @@ fn isolated_paths_have_equivalent_accuracy() {
     assert!(
         (err_pcp - err_direct).abs() < 0.15,
         "pcp err {err_pcp:.3} vs direct err {err_direct:.3}"
+    );
+}
+
+/// Transport equivalence: the same kernel measured through the in-process
+/// `PcpContext` and through a `WireClient` talking TCP to a loopback
+/// `PmcdServer` must report *identical* byte counts — the wire protocol
+/// adds a real network hop but zero measurement error.
+#[test]
+fn wire_and_inprocess_transports_report_identical_byte_counts() {
+    use papi_repro::papi::component::Component;
+    use papi_repro::papi::components::PcpComponent;
+    use papi_repro::papi::EventName;
+    use papi_repro::pcp::{PcpContext, PmApi, Pmcd, PmcdConfig, Pmns};
+    use papi_repro::wire::{PmcdServer, WireClient, WireConfig};
+
+    let mut machine = SimMachine::quiet(papi_repro::arch::Machine::tellico(), 29);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+
+    // Both transports front the very same counters.
+    let daemon = Pmcd::spawn_system(
+        pmns.clone(),
+        sockets.clone(),
+        PmcdConfig {
+            fetch_latency_s: 0.0,
+            fetch_touch: false,
+        },
+    );
+    let server = PmcdServer::bind_system(
+        "127.0.0.1:0",
+        pmns.clone(),
+        sockets.clone(),
+        WireConfig::default(),
+    );
+
+    let inproc = PcpComponent::with_client(
+        PcpContext::connect(daemon.handle(), None),
+        pmns.clone(),
+        sockets.clone(),
+    );
+    let wire = PcpComponent::with_client(
+        WireClient::connect(server.local_addr()).unwrap(),
+        pmns.clone(),
+        sockets.clone(),
+    );
+
+    let events: Vec<EventName> = pcp_events()
+        .iter()
+        .map(|e| EventName::parse(e).unwrap())
+        .collect();
+    let mut g_in = inproc.create_group(&events).unwrap();
+    let mut g_wire = wire.create_group(&events).unwrap();
+
+    g_in.start().unwrap();
+    g_wire.start().unwrap();
+    let gemm = GemmTrace::allocate(&mut machine, 160);
+    machine.run_single(0, |core| gemm.run(core));
+    let v_in = g_in.read().unwrap();
+    let v_wire = g_wire.read().unwrap();
+    assert_eq!(v_in, v_wire, "transports disagree");
+    assert!(v_in.iter().sum::<i64>() > 0, "kernel produced no traffic");
+    assert_eq!(g_in.stop().unwrap(), g_wire.stop().unwrap());
+
+    // Raw PMAPI parity too: name resolution, descriptors, listings and
+    // batched fetches agree metric-for-metric.
+    let ctx = PcpContext::connect(daemon.handle(), None);
+    let client = WireClient::connect(server.local_addr()).unwrap();
+    let names = ctx.pm_get_children("perfevent").unwrap();
+    assert_eq!(names, client.pm_get_children("perfevent").unwrap());
+    let reqs: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let a = ctx.pm_lookup_name(n).unwrap();
+            let b = client.pm_lookup_name(n).unwrap();
+            assert_eq!(a, b, "{n}");
+            assert_eq!(ctx.pm_get_desc(a).unwrap(), client.pm_get_desc(b).unwrap());
+            (a, pmns.instance_of_socket(0))
+        })
+        .collect();
+    assert_eq!(
+        ctx.pm_fetch(&reqs).unwrap(),
+        client.pm_fetch(&reqs).unwrap()
     );
 }
 

@@ -67,7 +67,11 @@ fn multi_component_eventset_observes_a_running_application() {
     use papi_repro::ranks::{ClusterSim, ProcessGrid};
 
     let machine = SimMachine::quiet(papi_repro::arch::Machine::summit(), 63);
-    let gpu = Arc::new(GpuDevice::new(0, GpuParams::default(), machine.socket_shared(0)));
+    let gpu = Arc::new(GpuDevice::new(
+        0,
+        GpuParams::default(),
+        machine.socket_shared(0),
+    ));
     let mut cluster = ClusterSim::new(machine, ProcessGrid::new(2, 4), 2);
     let rank = GpuFft3dRank::new(&mut cluster, Arc::clone(&gpu), 112, 2);
 
@@ -88,10 +92,12 @@ fn multi_component_eventset_observes_a_running_application() {
     // round-trip whose latency would advance the clock past short GPU
     // kernel segments before the gauge was sampled.
     let mut es = EventSet::new();
-    es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+    es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power")
+        .unwrap();
     es.add_event("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87")
         .unwrap();
-    es.add_event("infiniband:::mlx5_0_1_ext:port_recv_data").unwrap();
+    es.add_event("infiniband:::mlx5_0_1_ext:port_recv_data")
+        .unwrap();
     es.start(&papi).unwrap();
 
     let mut saw_power_spike = false;
@@ -113,10 +119,12 @@ fn mixed_eventset_value_ordering() {
     let machine = SimMachine::quiet(papi_repro::arch::Machine::summit(), 64);
     let setup = setup_node(&machine, Vec::new());
     let mut es = EventSet::new();
-    es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power").unwrap();
+    es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_0:power")
+        .unwrap();
     es.add_event("pcp:::perfevent.hwcounters.nest_mba3_imc.PM_MBA3_WRITE_BYTES.value:cpu87")
         .unwrap();
-    es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_1:power").unwrap();
+    es.add_event("nvml:::Tesla_V100-SXM2-16GB:device_1:power")
+        .unwrap();
     es.start(&setup.papi).unwrap();
     machine
         .socket_shared(0)

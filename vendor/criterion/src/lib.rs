@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface of the workspace's benchmarks — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a plain wall-clock harness: a short warm-up, then timed
+//! batches until a time budget is spent. Reports mean iteration time and
+//! derived throughput to stdout. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Accepted by `bench_function`-style entry points.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    /// (total elapsed, iterations) accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also primes caches/allocations).
+        black_box(f());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let mut elapsed;
+        loop {
+            black_box(f());
+            iters += 1;
+            elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                break;
+            }
+        }
+        self.result = Some((elapsed, iters));
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        result: None,
+        budget,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    format!(", {:.3} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!(", {:.3e} elem/s", n as f64 / per_iter)
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench {label:<40} {:>12.3} us/iter ({iters} iters{rate})",
+                per_iter * 1e6
+            );
+        }
+        _ => println!("bench {label:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; this harness is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    pub fn measurement_time(&mut self, d: Duration) {
+        self.criterion.budget = d;
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.throughput, self.criterion.budget, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.throughput, self.criterion.budget, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short per-benchmark budget: these are smoke-benches in CI; real
+        // statistics belong to the real criterion on a connected machine.
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        run_one(&label, None, self.budget, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1u64, |b, &x| {
+            ran = true;
+            b.iter(|| black_box(x + 1));
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,95 @@
+//! Runner types: config, case outcome, and the deterministic RNG that
+//! drives generation.
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` (does not count).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic xoshiro256++ generator, seeded from the test name so
+/// every run of a property replays the same case sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased draw in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `rand_distr`: the distributions this workspace
+//! samples (standard normal, normal, log-normal), built on the vendored
+//! `rand` shim. Normal variates use Box–Muller, which is exact.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Parameter error (mirrors `rand_distr::NormalError`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation or log-space sigma was not finite and >= 0.
+    BadVariance,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution variance")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+/// Uniform in [0, 1) with 53-bit resolution, callable on unsized
+/// generators (only `RngCore` methods carry no `Sized` bound).
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 bounded away from zero so ln() is finite.
+        let u1 = unit_f64(rng).max(f64::MIN_POSITIVE);
+        let u2 = unit_f64(rng);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// N(mean, std_dev^2).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+/// Log-normal: `exp(N(mu, sigma^2))` with *log-space* parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 || !mu.is_finite() {
+            return Err(Error::BadVariance);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * StandardNormal.sample(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = StandardNormal.sample(&mut rng);
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        // E[LogNormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+        let (mu, sigma) = (2.0, 0.7);
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let expect = (mu + sigma * sigma / 2.0).exp();
+        let empirical = total / n as f64;
+        assert!(
+            (empirical - expect).abs() / expect < 0.03,
+            "{empirical} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+}
