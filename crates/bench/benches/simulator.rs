@@ -59,7 +59,7 @@ fn bench_pcp_fetch(c: &mut Criterion) {
     let m = SimMachine::quiet(Machine::summit(), 4);
     let pmns = Pmns::for_machine(m.arch());
     let sockets = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
-    let d = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+    let d = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default()).expect("spawn pmcd");
     let ctx = PcpContext::connect(d.handle(), None);
     let reqs: Vec<_> = (0..8)
         .map(|ch| {

@@ -28,7 +28,8 @@ fn main() {
         .map(|s| machine.socket_shared(s))
         .collect();
     let server =
-        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default());
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
+            .expect("bind pmcd server");
     let addr = server.local_addr();
 
     // Each round trip fetches all 16 nest metrics of socket 0 in one
@@ -52,6 +53,8 @@ fn main() {
                         client.pm_fetch(&requests).expect("warmup fetch");
                     }
                     let mut n = 0u64;
+                    // relaxed-ok: a stop flag read in a hot loop; the
+                    // only consequence of a stale read is one extra fetch.
                     while !stop.load(Ordering::Relaxed) {
                         client.pm_fetch(&requests).expect("fetch");
                         n += 1;
@@ -61,6 +64,8 @@ fn main() {
             })
             .collect();
         std::thread::sleep(WARMUP + MEASURE);
+        // relaxed-ok: nothing is published through the flag; workers only
+        // need to observe it eventually.
         stop.store(true, Ordering::Relaxed);
         joins.into_iter().map(|j| j.join().unwrap()).collect()
     });

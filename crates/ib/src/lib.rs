@@ -34,21 +34,27 @@ impl Port {
     /// Record `bytes` received (stored in 4-byte words, rounding down like
     /// the hardware counter).
     pub fn record_recv(&self, bytes: u64) {
+        // relaxed-ok: monotonic traffic statistic; no other memory is
+        // published through the port counters.
         self.recv_words.fetch_add(bytes / 4, Ordering::Relaxed);
     }
 
     /// Record `bytes` transmitted.
     pub fn record_xmit(&self, bytes: u64) {
+        // relaxed-ok: same monotonic-statistic argument as record_recv.
         self.xmit_words.fetch_add(bytes / 4, Ordering::Relaxed);
     }
 
     /// `port_recv_data`: received 32-bit words.
     pub fn recv_data(&self) -> u64 {
+        // relaxed-ok: free-running counter read; samplers tolerate
+        // staleness, exactly like reading the sysfs counter file.
         self.recv_words.load(Ordering::Relaxed)
     }
 
     /// `port_xmit_data`: transmitted 32-bit words.
     pub fn xmit_data(&self) -> u64 {
+        // relaxed-ok: same free-running counter read as recv_data.
         self.xmit_words.load(Ordering::Relaxed)
     }
 }

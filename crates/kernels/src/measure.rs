@@ -116,12 +116,16 @@ where
         // --- One measured repetition, then scale. -----------------------
         let kernel = make_kernel(machine, cfg.threads);
         let t0 = shared.now_seconds();
+        // privilege-ok: measurement harness acting as the run's driver; it
+        // reads through the same SocketShared handle the PAPI event set
+        // already opened with an elevated token.
         let before = shared.counters().snapshot();
         machine.run_parallel(0, cfg.threads, |tid, core| {
             if tid == 0 {
                 run(&kernel, 0, core);
             }
         });
+        // privilege-ok: same harness read as `before` above.
         let delta = shared.counters().snapshot().delta(&before);
         let t_rep = shared.now_seconds() - t0;
 
@@ -146,6 +150,12 @@ where
     let read_bytes: i64 = totals[..nr].iter().sum();
     let write_bytes: i64 = totals[nr..].iter().sum();
     let elapsed = shared.now_seconds() - t_begin;
+    // The factored path injects scaled DMA traffic outside any kernel run,
+    // so re-check conservation at the very end of the measurement window.
+    #[cfg(feature = "verify")]
+    machine
+        .verify_socket_conservation(0)
+        .expect("measurement window broke counter conservation");
     Ok(TrafficSample {
         read_bytes: read_bytes as f64 / cfg.reps as f64,
         write_bytes: write_bytes as f64 / cfg.reps as f64,

@@ -12,6 +12,12 @@
 //! locks. Ordering is `Relaxed` throughout: the counters are statistics, and
 //! every reader tolerates (indeed, models) slightly stale values.
 
+// Under `--cfg loom` the atomics come from the vendored loom shim, whose
+// wrappers inject preemption points so the concurrency models in
+// `tests/loom_counters.rs` explore many interleavings.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::SECTOR_BYTES;
@@ -29,6 +35,21 @@ pub enum Direction {
 pub struct NestCounters {
     read_bytes: [AtomicU64; MBA_CHANNELS],
     write_bytes: [AtomicU64; MBA_CHANNELS],
+    /// Independent books for `record_bulk` traffic (see [`crate::verify`]).
+    #[cfg(feature = "verify")]
+    bulk: BulkShadow,
+}
+
+/// Shadow accounting for bulk (noise / DMA / measurement-overhead) traffic:
+/// mirrors `record_bulk` per channel and in total so the channel-split
+/// arithmetic is double-entry checked.
+#[cfg(feature = "verify")]
+#[derive(Debug, Default)]
+struct BulkShadow {
+    read_bytes: [AtomicU64; MBA_CHANNELS],
+    write_bytes: [AtomicU64; MBA_CHANNELS],
+    read_total: AtomicU64,
+    write_total: AtomicU64,
 }
 
 /// A point-in-time copy of all sixteen counters.
@@ -88,6 +109,8 @@ impl NestCounters {
             Direction::Read => &self.read_bytes[ch],
             Direction::Write => &self.write_bytes[ch],
         }
+        // relaxed-ok: independent monotonic statistic; no reader orders
+        // other memory against it, and the RMW itself cannot lose counts.
         .fetch_add(SECTOR_BYTES, Ordering::Relaxed);
     }
 
@@ -95,6 +118,13 @@ impl NestCounters {
     /// background-noise process and by device DMA, where per-sector
     /// attribution is irrelevant).
     pub fn record_bulk(&self, bytes: u64, dir: Direction) {
+        #[cfg(feature = "verify")]
+        match dir {
+            Direction::Read => &self.bulk.read_total,
+            Direction::Write => &self.bulk.write_total,
+        }
+        // relaxed-ok: shadow totals are only compared after threads join.
+        .fetch_add(bytes, Ordering::Relaxed);
         let per = bytes / MBA_CHANNELS as u64;
         let rem = bytes % MBA_CHANNELS as u64;
         for ch in 0..MBA_CHANNELS {
@@ -104,15 +134,44 @@ impl NestCounters {
                     Direction::Read => &self.read_bytes[ch],
                     Direction::Write => &self.write_bytes[ch],
                 }
+                // relaxed-ok: same monotonic-statistic argument as
+                // record_sector; per-channel adds are independent.
+                .fetch_add(amount, Ordering::Relaxed);
+                #[cfg(feature = "verify")]
+                match dir {
+                    Direction::Read => &self.bulk.read_bytes[ch],
+                    Direction::Write => &self.bulk.write_bytes[ch],
+                }
+                // relaxed-ok: shadow channel adds, compared only at rest.
                 .fetch_add(amount, Ordering::Relaxed);
             }
         }
     }
 
+    /// Snapshot the bulk-traffic shadow books (`verify` feature).
+    #[cfg(feature = "verify")]
+    pub fn bulk_shadow(&self) -> crate::verify::BulkSnapshot {
+        let mut s = crate::verify::BulkSnapshot::default();
+        for ch in 0..MBA_CHANNELS {
+            // relaxed-ok: shadow loads; callers verify quiescent state.
+            s.read_bytes[ch] = self.bulk.read_bytes[ch].load(Ordering::Relaxed);
+            // relaxed-ok: shadow loads; callers verify quiescent state.
+            s.write_bytes[ch] = self.bulk.write_bytes[ch].load(Ordering::Relaxed);
+        }
+        // relaxed-ok: shadow totals load, quiescent at verification time.
+        s.read_total = self.bulk.read_total.load(Ordering::Relaxed);
+        // relaxed-ok: shadow totals load, quiescent at verification time.
+        s.write_total = self.bulk.write_total.load(Ordering::Relaxed);
+        s
+    }
+
     /// Read a single channel counter.
     pub fn channel(&self, ch: usize, dir: Direction) -> u64 {
         match dir {
+            // relaxed-ok: free-running counter read; readers model stale
+            // hardware counter reads and need no ordering with other state.
             Direction::Read => self.read_bytes[ch].load(Ordering::Relaxed),
+            // relaxed-ok: same free-running counter read as above.
             Direction::Write => self.write_bytes[ch].load(Ordering::Relaxed),
         }
     }
@@ -121,7 +180,10 @@ impl NestCounters {
     pub fn snapshot(&self) -> CounterSnapshot {
         let mut s = CounterSnapshot::default();
         for ch in 0..MBA_CHANNELS {
+            // relaxed-ok: snapshot of free-running statistics; channel
+            // loads need not be mutually consistent (hardware reads aren't).
             s.read_bytes[ch] = self.read_bytes[ch].load(Ordering::Relaxed);
+            // relaxed-ok: same snapshot-of-statistics argument as above.
             s.write_bytes[ch] = self.write_bytes[ch].load(Ordering::Relaxed);
         }
         s

@@ -22,6 +22,7 @@ use crate::counters::{Direction, NestCounters};
 use crate::machine::{CoreEvent, CoreEventCounters};
 use crate::prefetch::{PrefetchEngine, PrefetchRequest};
 use crate::store::{StoreEngine, StoreOutcome};
+use crate::verify::ShadowLedger;
 use crate::SECTOR_BYTES;
 
 /// Cycle costs of the timing model. The numbers are round POWER9-flavoured
@@ -124,6 +125,9 @@ pub struct CoreSim {
     /// `-fprefetch-loop-arrays` compilation mode).
     sw_prefetch_stores: bool,
     stats: CoreStats,
+    /// Independent second set of books for every sector this core records
+    /// on the nest counters (no-op unless the `verify` feature is on).
+    shadow: ShadowLedger,
     // Scratch buffers reused across calls to avoid per-access allocation.
     scratch_pf: PrefetchRequest,
     scratch_store: Vec<StoreOutcome>,
@@ -154,6 +158,7 @@ impl CoreSim {
             cycles: 0,
             sw_prefetch_stores: false,
             stats: CoreStats::default(),
+            shadow: ShadowLedger::default(),
             scratch_pf: PrefetchRequest::default(),
             scratch_store: Vec::with_capacity(8),
         }
@@ -163,9 +168,11 @@ impl CoreSim {
     /// L3 contents are flushed — dirty sectors are written back.
     pub fn configure_l3(&mut self, capacity_bytes: u64, ways: usize) {
         let counters = Arc::clone(&self.counters);
+        let shadow = &mut self.shadow;
         let mut wb = 0u64;
         self.l3.flush(|s| {
             counters.record_sector(s, Direction::Write);
+            shadow.record(s, Direction::Write);
             wb += 1;
         });
         self.stats.writebacks += wb;
@@ -217,6 +224,42 @@ impl CoreSim {
     /// Diagnostic: resident L3 sector count.
     pub fn l3_resident(&self) -> usize {
         self.l3.resident()
+    }
+
+    /// The shadow transaction ledger (`verify` feature).
+    #[cfg(feature = "verify")]
+    pub fn shadow(&self) -> &ShadowLedger {
+        &self.shadow
+    }
+
+    /// Check this core's stats identity against its shadow ledger: shadow
+    /// read transactions must equal `demand_misses + prefetch_fills`, and
+    /// shadow write transactions must equal
+    /// `writebacks + bypass_writes + rmw_partials`.
+    #[cfg(feature = "verify")]
+    pub fn verify_conservation(&self, core: usize) -> Result<(), crate::verify::ConservationError> {
+        let shadow_reads: u64 = self.shadow.reads().iter().sum();
+        let stats_reads = self.stats.demand_misses + self.stats.prefetch_fills;
+        if shadow_reads != stats_reads {
+            return Err(crate::verify::ConservationError::CoreStats {
+                core,
+                dir: "read",
+                shadow_tx: shadow_reads,
+                stats_tx: stats_reads,
+            });
+        }
+        let shadow_writes: u64 = self.shadow.writes().iter().sum();
+        let stats_writes =
+            self.stats.writebacks + self.stats.bypass_writes + self.stats.rmw_partials;
+        if shadow_writes != stats_writes {
+            return Err(crate::verify::ConservationError::CoreStats {
+                core,
+                dir: "write",
+                shadow_tx: shadow_writes,
+                stats_tx: stats_writes,
+            });
+        }
+        Ok(())
     }
 
     /// Account `cycles` of pure computation (FLOPs, address arithmetic…).
@@ -335,14 +378,17 @@ impl CoreSim {
                 if let Evicted::Dirty(v) = self.l3.insert(s, true) {
                     self.stats.writebacks += 1;
                     self.counters.record_sector(v, Direction::Write);
+                    self.shadow.record(v, Direction::Write);
                     self.cycles += self.costs.mem_bw;
                 }
             }
         }
         let counters = Arc::clone(&self.counters);
+        let shadow = &mut self.shadow;
         let mut wb = 0u64;
         self.l3.flush(|s| {
             counters.record_sector(s, Direction::Write);
+            shadow.record(s, Direction::Write);
             wb += 1;
         });
         self.stats.writebacks += wb;
@@ -369,6 +415,7 @@ impl CoreSim {
     #[inline]
     fn mem_read(&mut self, sector: u64, demand: bool) {
         self.counters.record_sector(sector, Direction::Read);
+        self.shadow.record(sector, Direction::Read);
         self.cycles += self.costs.mem_bw;
         if demand {
             self.cycles += self.costs.mem_lat;
@@ -381,6 +428,7 @@ impl CoreSim {
     #[inline]
     fn mem_write(&mut self, sector: u64) {
         self.counters.record_sector(sector, Direction::Write);
+        self.shadow.record(sector, Direction::Write);
         self.cycles += self.costs.mem_bw;
     }
 

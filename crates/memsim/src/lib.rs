@@ -60,6 +60,7 @@ pub mod noise;
 pub mod prefetch;
 pub mod privilege;
 pub mod store;
+pub mod verify;
 
 pub use addr::{AddressSpace, Region};
 pub use cache::SetAssocCache;
@@ -70,6 +71,9 @@ pub use noise::NoiseConfig;
 pub use prefetch::PrefetchEngine;
 pub use privilege::{PrivilegeError, PrivilegeLevel, PrivilegeToken};
 pub use store::StoreEngine;
+#[cfg(feature = "verify")]
+pub use verify::BulkSnapshot;
+pub use verify::{ConservationError, ShadowLedger};
 
 /// Bytes per memory transaction / cache sector (half of a 128 B line).
 pub const SECTOR_BYTES: u64 = p9_arch::MEM_TRANSACTION_BYTES;

@@ -78,11 +78,14 @@ impl CoreEvent {
 impl CoreEventCounters {
     /// Add `v` to one event's counter.
     pub fn add(&self, ev: CoreEvent, v: u64) {
+        // relaxed-ok: monotonic statistic; readers model stale PMU reads
+        // and never order other memory against this counter.
         self.values[ev as usize].fetch_add(v, Ordering::Relaxed);
     }
 
     /// Current value of one event.
     pub fn get(&self, ev: CoreEvent) -> u64 {
+        // relaxed-ok: free-running statistic read, staleness is modelled.
         self.values[ev as usize].load(Ordering::Relaxed)
     }
 }
@@ -97,6 +100,10 @@ pub struct SocketShared {
     rng: Mutex<StdRng>,
     time_cycles: AtomicU64,
     clock_hz: f64,
+    /// Last counter snapshot seen by the conservation checker, for the
+    /// monotonicity invariant (`verify` feature).
+    #[cfg(feature = "verify")]
+    last_verified: Mutex<crate::CounterSnapshot>,
 }
 
 impl SocketShared {
@@ -108,7 +115,39 @@ impl SocketShared {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             time_cycles: AtomicU64::new(0),
             clock_hz,
+            #[cfg(feature = "verify")]
+            last_verified: Mutex::new(crate::CounterSnapshot::default()),
         }
+    }
+
+    /// Check that no channel counter moved backwards since the previous
+    /// verification sample, then remember `snap` as the new baseline.
+    #[cfg(feature = "verify")]
+    fn check_monotonic(
+        &self,
+        snap: &crate::CounterSnapshot,
+    ) -> Result<(), crate::verify::ConservationError> {
+        let mut prev = self.last_verified.lock();
+        for ch in 0..p9_arch::MBA_CHANNELS {
+            if snap.read_bytes[ch] < prev.read_bytes[ch] {
+                return Err(crate::verify::ConservationError::Monotonic {
+                    channel: ch,
+                    dir: "read",
+                    prev: prev.read_bytes[ch],
+                    now: snap.read_bytes[ch],
+                });
+            }
+            if snap.write_bytes[ch] < prev.write_bytes[ch] {
+                return Err(crate::verify::ConservationError::Monotonic {
+                    channel: ch,
+                    dir: "write",
+                    prev: prev.write_bytes[ch],
+                    now: snap.write_bytes[ch],
+                });
+            }
+        }
+        *prev = *snap;
+        Ok(())
     }
 
     /// The socket's nest counters.
@@ -133,11 +172,14 @@ impl SocketShared {
 
     /// Simulated time on this socket, in seconds.
     pub fn now_seconds(&self) -> f64 {
+        // relaxed-ok: clock reads tolerate staleness by design (samplers
+        // model asynchronous wall-clock reads).
         self.time_cycles.load(Ordering::Relaxed) as f64 / self.clock_hz
     }
 
     /// Simulated time in cycles.
     pub fn now_cycles(&self) -> u64 {
+        // relaxed-ok: same stale-clock-read argument as now_seconds.
         self.time_cycles.load(Ordering::Relaxed)
     }
 
@@ -163,6 +205,8 @@ impl SocketShared {
         if dcycles == 0 {
             return;
         }
+        // relaxed-ok: monotonic clock advance; no other memory is
+        // published through this counter.
         self.time_cycles.fetch_add(dcycles, Ordering::Relaxed);
         let seconds = dcycles as f64 / self.clock_hz;
         let (r, w) = {
@@ -358,6 +402,8 @@ impl SimMachine {
             .max()
             .unwrap_or(0);
         sock.shared.advance_cycles(dmax);
+        #[cfg(feature = "verify")]
+        self.assert_conservation(socket);
     }
 
     /// Run `f` on core 0 of `socket` (single-threaded kernel).
@@ -372,6 +418,73 @@ impl SimMachine {
         sock.cores[0].fence();
         let delta = sock.cores[0].cycles() - before;
         sock.shared.advance_cycles(delta);
+        #[cfg(feature = "verify")]
+        self.assert_conservation(socket);
+    }
+
+    /// Full conservation check of `socket` (`verify` feature): per-core
+    /// stats identities, the `record_bulk` split, per-channel byte
+    /// equality against the shadow books, and counter monotonicity.
+    ///
+    /// ```text
+    /// MBA bytes[ch] == SECTOR_BYTES x shadow transactions[ch] + bulk bytes[ch]
+    /// ```
+    #[cfg(feature = "verify")]
+    pub fn verify_socket_conservation(
+        &self,
+        socket: usize,
+    ) -> Result<(), crate::verify::ConservationError> {
+        use crate::verify::ConservationError;
+        use crate::SECTOR_BYTES;
+        use p9_arch::MBA_CHANNELS;
+
+        let sock = &self.sockets[socket];
+        let snap = sock.shared.counters.snapshot();
+        sock.shared.check_monotonic(&snap)?;
+
+        let bulk = sock.shared.counters.bulk_shadow();
+        bulk.check_split()?;
+
+        let mut shadow_reads = [0u64; MBA_CHANNELS];
+        let mut shadow_writes = [0u64; MBA_CHANNELS];
+        for (i, core) in sock.cores.iter().enumerate() {
+            core.verify_conservation(i)?;
+            for ch in 0..MBA_CHANNELS {
+                shadow_reads[ch] += core.shadow().reads()[ch];
+                shadow_writes[ch] += core.shadow().writes()[ch];
+            }
+        }
+
+        for ch in 0..MBA_CHANNELS {
+            let expected = SECTOR_BYTES * shadow_reads[ch] + bulk.read_bytes[ch];
+            if snap.read_bytes[ch] != expected {
+                return Err(ConservationError::Channel {
+                    channel: ch,
+                    dir: "read",
+                    counter: snap.read_bytes[ch],
+                    expected,
+                });
+            }
+            let expected = SECTOR_BYTES * shadow_writes[ch] + bulk.write_bytes[ch];
+            if snap.write_bytes[ch] != expected {
+                return Err(ConservationError::Channel {
+                    channel: ch,
+                    dir: "write",
+                    counter: snap.write_bytes[ch],
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panic with the conservation report if `socket`'s books disagree.
+    /// Called automatically after every kernel when `verify` is on.
+    #[cfg(feature = "verify")]
+    fn assert_conservation(&self, socket: usize) {
+        if let Err(e) = self.verify_socket_conservation(socket) {
+            panic!("counter conservation violated on socket {socket}: {e}");
+        }
     }
 
     /// Size the L3 share of the cores for an `active`-core workload (the

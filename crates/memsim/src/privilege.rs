@@ -26,8 +26,10 @@ pub enum PrivilegeLevel {
 ///
 /// The field is private; the only constructors are
 /// [`PrivilegeToken::elevated`] (crate-external callers receive tokens from
-/// the machine, which decides per [`PrivilegeLevel`]).
-#[derive(Clone, Debug)]
+/// the machine, which decides per [`PrivilegeLevel`]). Deliberately not
+/// `Clone`: a capability is borrowed (`&PrivilegeToken`) or re-minted by
+/// the machine, never silently duplicated by holders.
+#[derive(Debug)]
 pub struct PrivilegeToken {
     level: PrivilegeLevel,
 }

@@ -202,7 +202,8 @@ mod tests {
         let m = SimMachine::quiet(Machine::summit(), 11);
         let pmns = Pmns::for_machine(m.arch());
         let sockets: Vec<_> = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
-        let d = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default());
+        let d = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default())
+            .expect("spawn pmcd");
         let ctx = PcpContext::connect(d.handle(), Some(m.socket_shared(0)));
         let c = PcpComponent::new(ctx, pmns, sockets);
         (m, d, c)

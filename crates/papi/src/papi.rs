@@ -115,7 +115,8 @@ pub fn setup_node(machine: &SimMachine, hcas: Vec<Arc<ib_sim::Hca>>) -> NodeSetu
 
     // PCP: system-started daemon plus an unprivileged client context.
     let pmns = Pmns::for_machine(arch);
-    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default());
+    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default())
+        .expect("spawn pmcd");
     let ctx = PcpContext::connect(pmcd.handle(), Some(machine.socket_shared(0)));
 
     let mut papi = Papi::new();

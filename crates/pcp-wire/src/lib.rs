@@ -17,6 +17,10 @@
 //!   mid-request disconnects, shuts down gracefully, and exports its own
 //!   operational counters (`pmcd.*`) through the same PMNS it serves —
 //!   the daemon profiles itself.
+//! * [`pool`] — [`BoundedQueue`]: the worker-pool connection queue. Its
+//!   mutex/condvar come from the vendored loom shim under `--cfg loom`,
+//!   so `tests/loom_pool.rs` can model-check the accept/shutdown path
+//!   (bounded Busy rejection, graceful drain-then-join).
 //! * [`client`] — [`WireClient`]: implements `pcp_sim::PmApi`, so the
 //!   PAPI PCP component runs against either transport unchanged.
 //! * [`logger`] — [`SamplingScheduler`]: the `pmlogger` analogue. A
@@ -29,9 +33,11 @@
 pub mod client;
 pub mod logger;
 pub mod pdu;
+pub mod pool;
 pub mod server;
 
 pub use client::WireClient;
 pub use logger::{SamplingScheduler, ScheduleSpec};
 pub use pdu::{ErrorCode, Pdu, PduError, PROTOCOL_VERSION};
-pub use server::{PmcdServer, StatsSnapshot, WireConfig};
+pub use pool::BoundedQueue;
+pub use server::{PmcdServer, ServerError, StatsSnapshot, WireConfig};

@@ -48,8 +48,12 @@ pub struct SamplingScheduler {
 
 impl SamplingScheduler {
     /// Start sampling `specs` through `ctx`. Each group takes its first
-    /// sample immediately, then every `interval` thereafter.
-    pub fn start(ctx: impl PmApi + 'static, specs: Vec<ScheduleSpec>) -> Self {
+    /// sample immediately, then every `interval` thereafter. Fails only
+    /// if the OS refuses to spawn the sampling thread.
+    pub fn start(
+        ctx: impl PmApi + 'static,
+        specs: Vec<ScheduleSpec>,
+    ) -> Result<Self, std::io::Error> {
         assert!(!specs.is_empty(), "scheduler needs at least one group");
         for s in &specs {
             assert!(
@@ -75,14 +79,13 @@ impl SamplingScheduler {
         let t_stop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("pmlogger".into())
-            .spawn(move || sample_loop(Box::new(ctx), t_groups, t_stop))
-            .expect("spawn pmlogger thread");
+            .spawn(move || sample_loop(Box::new(ctx), t_groups, t_stop))?;
 
-        SamplingScheduler {
+        Ok(SamplingScheduler {
             stop,
             groups,
             thread: Some(thread),
-        }
+        })
     }
 
     /// Stop sampling and hand over the archives, in schedule order. The
@@ -206,7 +209,7 @@ mod tests {
             calls: 0.into(),
             fail_after: u64::MAX,
         };
-        let sched = SamplingScheduler::start(stub, vec![spec("fast", 10)]);
+        let sched = SamplingScheduler::start(stub, vec![spec("fast", 10)]).expect("start");
         std::thread::sleep(Duration::from_millis(120));
         let mut out = sched.stop();
         let (name, archive, err) = out.remove(0);
@@ -225,7 +228,8 @@ mod tests {
             calls: 0.into(),
             fail_after: u64::MAX,
         };
-        let sched = SamplingScheduler::start(stub, vec![spec("fast", 10), spec("slow", 1000)]);
+        let sched = SamplingScheduler::start(stub, vec![spec("fast", 10), spec("slow", 1000)])
+            .expect("start");
         std::thread::sleep(Duration::from_millis(150));
         let out = sched.stop();
         let fast = out.iter().find(|(n, _, _)| n == "fast").unwrap();
@@ -240,7 +244,7 @@ mod tests {
             calls: 0.into(),
             fail_after: 3,
         };
-        let sched = SamplingScheduler::start(stub, vec![spec("flaky", 5)]);
+        let sched = SamplingScheduler::start(stub, vec![spec("flaky", 5)]).expect("start");
         std::thread::sleep(Duration::from_millis(100));
         let mut out = sched.stop();
         let (_, archive, err) = out.remove(0);
@@ -254,7 +258,7 @@ mod tests {
             calls: 0.into(),
             fail_after: u64::MAX,
         };
-        let sched = SamplingScheduler::start(stub, vec![spec("g", 10)]);
+        let sched = SamplingScheduler::start(stub, vec![spec("g", 10)]).expect("start");
         drop(sched); // must not hang or leak the thread
     }
 }

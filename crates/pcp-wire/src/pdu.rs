@@ -357,15 +357,20 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, PduError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, PduError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, PduError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_be_bytes(raw))
     }
 
     fn string(&mut self) -> Result<String, PduError> {
@@ -533,7 +538,8 @@ pub fn decode_frame(frame: &[u8], max_payload: u32) -> Result<Pdu, PduError> {
     if frame.len() < HEADER_LEN {
         return Err(PduError::Truncated);
     }
-    let header: [u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().unwrap();
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&frame[..HEADER_LEN]);
     let h = decode_header(&header, max_payload)?;
     let body = &frame[HEADER_LEN..];
     if body.len() < h.payload_len as usize {

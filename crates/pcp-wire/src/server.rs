@@ -26,8 +26,7 @@
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,6 +35,7 @@ use p9_memsim::{Direction, PrivilegeError, PrivilegeToken};
 use pcp_sim::pmns::{InstanceId, MetricId, MetricSemantics, Pmns};
 
 use crate::pdu::{read_pdu, write_pdu, ErrorCode, Pdu, WireError, PROTOCOL_VERSION};
+use crate::pool::{BoundedQueue, Pop, PushError};
 
 /// Base of the reserved id range for the server's self-metrics. The PMNS
 /// table indexes from zero, so anything at or above this base is a
@@ -141,13 +141,29 @@ struct ServerStats {
     latency_buckets: [AtomicU64; 5],
 }
 
+/// Increment one operational counter, returning the previous value.
+#[inline]
+fn bump(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: operational statistics; readers tolerate staleness and
+    // no other memory is published through these counters.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Read one operational counter.
+#[inline]
+fn peek(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: statistic read; consumers expect free-running values.
+    counter.load(Ordering::Relaxed)
+}
+
 impl ServerStats {
     fn record_fetch(&self, elapsed: Duration) {
         let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
-        self.fetch_count.fetch_add(1, Ordering::Relaxed);
+        bump(&self.fetch_count);
+        // relaxed-ok: statistic accumulation, same as bump().
         self.fetch_ns_sum.fetch_add(ns, Ordering::Relaxed);
         if let Some(b) = LATENCY_BUCKETS_NS.iter().position(|&ub| ns <= ub) {
-            self.latency_buckets[b].fetch_add(1, Ordering::Relaxed);
+            bump(&self.latency_buckets[b]);
         }
     }
 
@@ -155,35 +171,30 @@ impl ServerStats {
     /// Histogram buckets read cumulatively, Prometheus-style.
     fn value(&self, idx: usize) -> Option<u64> {
         Some(match idx {
-            0 => self.pdu_in.load(Ordering::Relaxed),
-            1 => self.pdu_out.load(Ordering::Relaxed),
-            2 => self.pdu_err.load(Ordering::Relaxed),
-            3 => self.clients_current.load(Ordering::Relaxed),
-            4 => self.clients_total.load(Ordering::Relaxed),
-            5 => self.clients_rejected.load(Ordering::Relaxed),
-            6 => self.fetch_count.load(Ordering::Relaxed),
-            7 => self.fetch_ns_sum.load(Ordering::Relaxed),
-            8..=12 => self.latency_buckets[..=idx - 8]
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .sum(),
+            0 => peek(&self.pdu_in),
+            1 => peek(&self.pdu_out),
+            2 => peek(&self.pdu_err),
+            3 => peek(&self.clients_current),
+            4 => peek(&self.clients_total),
+            5 => peek(&self.clients_rejected),
+            6 => peek(&self.fetch_count),
+            7 => peek(&self.fetch_ns_sum),
+            8..=12 => self.latency_buckets[..=idx - 8].iter().map(peek).sum(),
             _ => return None,
         })
     }
 
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            pdu_in: self.pdu_in.load(Ordering::Relaxed),
-            pdu_out: self.pdu_out.load(Ordering::Relaxed),
-            pdu_error: self.pdu_err.load(Ordering::Relaxed),
-            clients_current: self.clients_current.load(Ordering::Relaxed),
-            clients_total: self.clients_total.load(Ordering::Relaxed),
-            clients_rejected: self.clients_rejected.load(Ordering::Relaxed),
-            fetch_count: self.fetch_count.load(Ordering::Relaxed),
-            fetch_latency_ns_sum: self.fetch_ns_sum.load(Ordering::Relaxed),
-            fetch_latency_buckets: std::array::from_fn(|i| {
-                self.latency_buckets[i].load(Ordering::Relaxed)
-            }),
+            pdu_in: peek(&self.pdu_in),
+            pdu_out: peek(&self.pdu_out),
+            pdu_error: peek(&self.pdu_err),
+            clients_current: peek(&self.clients_current),
+            clients_total: peek(&self.clients_total),
+            clients_rejected: peek(&self.clients_rejected),
+            fetch_count: peek(&self.fetch_count),
+            fetch_latency_ns_sum: peek(&self.fetch_ns_sum),
+            fetch_latency_buckets: std::array::from_fn(|i| peek(&self.latency_buckets[i])),
         }
     }
 }
@@ -213,11 +224,52 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The caller's token lacks elevation — binding the PMCD is the
+    /// privileged side of the export.
+    Privilege(PrivilegeError),
+    /// Binding the listener or spawning a thread failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Privilege(e) => write!(f, "privilege: {e}"),
+            ServerError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Privilege(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<PrivilegeError> for ServerError {
+    fn from(e: PrivilegeError) -> Self {
+        ServerError::Privilege(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
 /// The networked PMCD. Binding requires elevation, exactly like spawning
 /// the in-process daemon — the server is the privileged side of the
 /// export.
 pub struct PmcdServer {
     shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<TcpStream>>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -232,15 +284,13 @@ impl PmcdServer {
         sockets: Vec<Arc<SocketShared>>,
         token: &PrivilegeToken,
         config: WireConfig,
-    ) -> Result<Self, PrivilegeError> {
+    ) -> Result<Self, ServerError> {
         token.require_elevated()?;
         assert!(config.workers >= 1, "server needs at least one worker");
         assert!(config.max_fetch_batch >= 1);
-        let listener = TcpListener::bind(addr).expect("bind pmcd listener");
-        listener
-            .set_nonblocking(true)
-            .expect("nonblocking listener");
-        let local_addr = listener.local_addr().expect("listener address");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
 
         let shared = Arc::new(Shared {
             pmns,
@@ -249,46 +299,51 @@ impl PmcdServer {
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
         });
+        let queue = Arc::new(BoundedQueue::new(config.pending));
 
-        let (conn_tx, conn_rx) = sync_channel::<TcpStream>(config.pending);
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut server = PmcdServer {
+            shared: Arc::clone(&shared),
+            queue: Arc::clone(&queue),
+            local_addr,
+            accept_thread: None,
+            workers: Vec::with_capacity(config.workers),
+        };
 
-        let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&conn_rx);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("pmcd-worker-{i}"))
-                    .spawn(move || worker_loop(shared, rx))
-                    .expect("spawn pmcd worker"),
-            );
+            let queue = Arc::clone(&queue);
+            let handle = std::thread::Builder::new()
+                .name(format!("pmcd-worker-{i}"))
+                .spawn(move || worker_loop(shared, queue));
+            match handle {
+                Ok(h) => server.workers.push(h),
+                // Partial construction: `server` drops here, which joins
+                // the workers already spawned.
+                Err(e) => return Err(ServerError::Io(e)),
+            }
         }
 
         let accept_shared = Arc::clone(&shared);
+        let accept_queue = Arc::clone(&queue);
         let accept_thread = std::thread::Builder::new()
             .name("pmcd-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, conn_tx))
-            .expect("spawn pmcd accept thread");
+            .spawn(move || accept_loop(listener, accept_shared, accept_queue))
+            .map_err(ServerError::Io)?;
+        server.accept_thread = Some(accept_thread);
 
-        Ok(PmcdServer {
-            shared,
-            local_addr,
-            accept_thread: Some(accept_thread),
-            workers,
-        })
+        Ok(server)
     }
 
     /// Bind as the *system* would (mints the elevated token itself) —
-    /// mirrors `Pmcd::spawn_system`.
+    /// mirrors `Pmcd::spawn_system`. Privilege cannot fail here, but the
+    /// bind or thread spawns still can.
     pub fn bind_system<A: ToSocketAddrs>(
         addr: A,
         pmns: Pmns,
         sockets: Vec<Arc<SocketShared>>,
         config: WireConfig,
-    ) -> Self {
+    ) -> Result<Self, ServerError> {
         Self::bind(addr, pmns, sockets, &PrivilegeToken::elevated(), config)
-            .expect("elevated token cannot be rejected")
     }
 
     /// The address clients should connect to.
@@ -302,12 +357,16 @@ impl PmcdServer {
     }
 
     /// Stop accepting, finish in-flight requests, join every thread.
+    /// Already-queued connections are still served (graceful drain).
     /// Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // With the accept loop gone nothing produces any more; closing
+        // lets workers drain the backlog and then exit.
+        self.queue.close();
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
@@ -320,17 +379,13 @@ impl Drop for PmcdServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    conn_tx: std::sync::mpsc::SyncSender<TcpStream>,
-) {
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue: Arc<BoundedQueue<TcpStream>>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => match conn_tx.try_send(stream) {
+            Ok((stream, _peer)) => match queue.try_push(stream) {
                 Ok(()) => {}
-                Err(TrySendError::Full(stream)) => reject_busy(&shared, stream),
-                Err(TrySendError::Disconnected(_)) => break,
+                Err(PushError::Full(stream)) => reject_busy(&shared, stream),
+                Err(PushError::Closed(_)) => break,
             },
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -338,15 +393,11 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
-    // Dropping conn_tx disconnects idle workers.
 }
 
 /// Shed load at the door: tell the client we are saturated and close.
 fn reject_busy(shared: &Shared, mut stream: TcpStream) {
-    shared
-        .stats
-        .clients_rejected
-        .fetch_add(1, Ordering::Relaxed);
+    bump(&shared.stats.clients_rejected);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let frame = Pdu::Error {
         code: ErrorCode::Busy,
@@ -356,21 +407,16 @@ fn reject_busy(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.write_all(&frame);
 }
 
-fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
+fn worker_loop(shared: Arc<Shared>, queue: Arc<BoundedQueue<TcpStream>>) {
     loop {
-        // Hold the lock only for the dequeue, never while serving.
-        let next = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv_timeout(Duration::from_millis(50))
-        };
-        match next {
-            Ok(stream) => serve_client(&shared, stream),
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+        match queue.pop_timeout(Duration::from_millis(50)) {
+            Pop::Item(stream) => serve_client(&shared, stream),
+            Pop::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) && queue.is_empty() {
                     return;
                 }
             }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            Pop::Closed => return,
         }
     }
 }
@@ -380,9 +426,10 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<Receiver<TcpStream>>>) {
 /// disconnects all end *this* connection only.
 fn serve_client(shared: &Shared, stream: TcpStream) {
     let stats = &shared.stats;
-    stats.clients_current.fetch_add(1, Ordering::Relaxed);
-    let client_id = stats.clients_total.fetch_add(1, Ordering::Relaxed) + 1;
+    bump(&stats.clients_current);
+    let client_id = bump(&stats.clients_total) + 1;
     serve_client_inner(shared, stream, client_id);
+    // relaxed-ok: statistic decrement, pairs with the bump above.
     stats.clients_current.fetch_sub(1, Ordering::Relaxed);
 }
 
@@ -413,7 +460,7 @@ fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
             Err(WireError::Stalled) => {
                 // Half a frame then silence: the stream cannot be
                 // resynchronised, and the worker must not stay wedged.
-                stats.pdu_err.fetch_add(1, Ordering::Relaxed);
+                bump(&stats.pdu_err);
                 let _ = write_pdu(
                     &mut stream,
                     &Pdu::Error {
@@ -425,7 +472,7 @@ fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
             }
             Err(WireError::Pdu(e)) => {
                 // Malformed input: tell the client why, then hang up.
-                stats.pdu_err.fetch_add(1, Ordering::Relaxed);
+                bump(&stats.pdu_err);
                 let _ = write_pdu(
                     &mut stream,
                     &Pdu::Error {
@@ -436,7 +483,7 @@ fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
                 return;
             }
         };
-        stats.pdu_in.fetch_add(1, Ordering::Relaxed);
+        bump(&stats.pdu_in);
 
         // The CREDS exchange must come first and exactly once.
         let reply = if !handshaken {
@@ -471,12 +518,12 @@ fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
             }
         );
         if matches!(reply, Pdu::Error { .. }) {
-            stats.pdu_err.fetch_add(1, Ordering::Relaxed);
+            bump(&stats.pdu_err);
         }
         if write_pdu(&mut stream, &reply).is_err() {
             return; // client went away mid-reply
         }
-        stats.pdu_out.fetch_add(1, Ordering::Relaxed);
+        bump(&stats.pdu_out);
         if fatal {
             return;
         }
@@ -649,7 +696,8 @@ mod tests {
         let m = SimMachine::quiet(Machine::summit(), 1);
         let pmns = Pmns::for_machine(m.arch());
         let sockets = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
-        let server = PmcdServer::bind_system("127.0.0.1:0", pmns, sockets, config);
+        let server =
+            PmcdServer::bind_system("127.0.0.1:0", pmns, sockets, config).expect("bind server");
         (m, server)
     }
 

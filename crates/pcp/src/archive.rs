@@ -89,6 +89,18 @@ impl Archive {
         self.records.iter().rev().find(|r| r.time_s <= t)
     }
 
+    /// Check that metric column `idx` is monotonically non-decreasing
+    /// across the archive — the invariant every counter-semantics metric
+    /// must satisfy (the hardware counters are free-running and never
+    /// reset mid-archive). Returns the first offending pair of record
+    /// indices, or `None` if the column is monotone.
+    pub fn counter_monotonic(&self, idx: usize) -> Option<(usize, usize)> {
+        self.records
+            .windows(2)
+            .position(|w| w[1].values[idx] < w[0].values[idx])
+            .map(|i| (i, i + 1))
+    }
+
     /// Counter-semantics rate of metric `idx` over the interval ending at
     /// the first sample at or after `t` (units/second), `None` at the
     /// archive edges.
@@ -179,7 +191,8 @@ mod tests {
                 fetch_latency_s: 0.0,
                 fetch_touch: false,
             },
-        );
+        )
+        .expect("spawn pmcd");
         (m, d, pmns)
     }
 

@@ -189,7 +189,8 @@ mod tests {
                 fetch_latency_s: latency,
                 fetch_touch: false,
             },
-        );
+        )
+        .expect("spawn pmcd");
         let ctx = PcpContext::connect(d.handle(), Some(m.socket_shared(0)));
         (m, d, ctx)
     }

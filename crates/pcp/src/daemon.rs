@@ -102,6 +102,39 @@ impl PmcdHandle {
     }
 }
 
+/// Why a daemon failed to start.
+#[derive(Debug)]
+pub enum PmcdError {
+    /// The caller's token lacks elevation.
+    Privilege(PrivilegeError),
+    /// The OS refused to spawn the service thread.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for PmcdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmcdError::Privilege(e) => write!(f, "privilege: {e}"),
+            PmcdError::Spawn(e) => write!(f, "spawn pmcd thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PmcdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmcdError::Privilege(e) => Some(e),
+            PmcdError::Spawn(e) => Some(e),
+        }
+    }
+}
+
+impl From<PrivilegeError> for PmcdError {
+    fn from(e: PrivilegeError) -> Self {
+        PmcdError::Privilege(e)
+    }
+}
+
 /// The daemon itself (owns the service thread).
 pub struct Pmcd {
     handle: PmcdHandle,
@@ -117,7 +150,7 @@ impl Pmcd {
         sockets: Vec<Arc<SocketShared>>,
         token: &PrivilegeToken,
         config: PmcdConfig,
-    ) -> Result<Self, PrivilegeError> {
+    ) -> Result<Self, PmcdError> {
         token.require_elevated()?;
         config.validate();
         let (tx, rx) = channel::<Request>();
@@ -125,7 +158,7 @@ impl Pmcd {
         let thread = std::thread::Builder::new()
             .name("pmcd".into())
             .spawn(move || service_loop(pmns, sockets, cfg, rx))
-            .expect("spawn pmcd thread");
+            .map_err(PmcdError::Spawn)?;
         Ok(Pmcd {
             handle: PmcdHandle { tx, config },
             thread: Some(thread),
@@ -135,10 +168,13 @@ impl Pmcd {
     /// Start a PMCD as the *system* would: the system boot path mints the
     /// elevated token itself, so this succeeds even on machines where users
     /// are unprivileged. This is how Summit exposes nest counters to
-    /// everyone.
-    pub fn spawn_system(pmns: Pmns, sockets: Vec<Arc<SocketShared>>, config: PmcdConfig) -> Self {
+    /// everyone. Privilege cannot fail here; thread spawning still can.
+    pub fn spawn_system(
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        config: PmcdConfig,
+    ) -> Result<Self, PmcdError> {
         Self::spawn(pmns, sockets, &PrivilegeToken::elevated(), config)
-            .expect("elevated token cannot be rejected")
     }
 
     /// Handle for connecting clients.
@@ -230,7 +266,7 @@ mod tests {
         let m = SimMachine::quiet(Machine::summit(), 1);
         let pmns = Pmns::for_machine(m.arch());
         let sockets = (0..m.num_sockets()).map(|s| m.socket_shared(s)).collect();
-        let d = Pmcd::spawn_system(pmns, sockets, PmcdConfig::default());
+        let d = Pmcd::spawn_system(pmns, sockets, PmcdConfig::default()).expect("spawn pmcd");
         (m, d)
     }
 
@@ -367,7 +403,8 @@ mod touch_tests {
                 fetch_latency_s: 0.0,
                 fetch_touch: true,
             },
-        );
+        )
+        .expect("spawn pmcd");
         let ctx = PcpContext::connect(d.handle(), None);
         let id = pmns
             .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")

@@ -35,5 +35,5 @@ pub mod pmns;
 
 pub use archive::{Archive, ArchiveRecord, PmLogger};
 pub use client::{PcpContext, PcpError, PmApi};
-pub use daemon::{Pmcd, PmcdConfig, PmcdHandle};
+pub use daemon::{Pmcd, PmcdConfig, PmcdError, PmcdHandle};
 pub use pmns::{InstanceId, MetricDesc, MetricId, MetricSemantics, Pmns};

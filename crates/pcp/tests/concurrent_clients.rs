@@ -19,7 +19,8 @@ fn many_clients_fetch_concurrently_and_consistently() {
     let sockets: Vec<_> = (0..machine.num_sockets())
         .map(|s| machine.socket_shared(s))
         .collect();
-    let daemon = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+    let daemon =
+        Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default()).expect("spawn pmcd");
 
     // Fixed traffic before any client connects.
     for s in 0..80u64 {
@@ -63,7 +64,8 @@ fn clients_can_outlive_each_other() {
     let sockets: Vec<_> = (0..machine.num_sockets())
         .map(|s| machine.socket_shared(s))
         .collect();
-    let daemon = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+    let daemon =
+        Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default()).expect("spawn pmcd");
 
     let c1 = PcpContext::connect(daemon.handle(), None);
     {
@@ -98,7 +100,8 @@ fn wire_server_survives_hostile_clients_among_sixteen() {
             workers: 20,
             ..WireConfig::default()
         },
-    );
+    )
+    .expect("bind server");
     let addr = server.local_addr();
 
     // Fixed traffic before any client connects: 80 sectors, 10 of which
@@ -170,7 +173,8 @@ fn wire_server_self_metrics_fetchable() {
         .map(|s| machine.socket_shared(s))
         .collect();
     let server =
-        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default());
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
+            .expect("bind server");
     let c = WireClient::connect(server.local_addr()).unwrap();
 
     // Generate some fetch traffic first.

@@ -1,0 +1,663 @@
+//! `papi-verify` static-analysis pass.
+//!
+//! Three repo-specific rules, enforced over every non-test source line of
+//! the workspace (vendored shims excluded):
+//!
+//! 1. **no-panic** — the server and codec crates (`pcp-wire`, `pcp`) must
+//!    not contain `.unwrap()`, `.expect(…)` or `panic!` outside test code.
+//!    Request paths run on daemon threads; a panic there kills a worker and
+//!    silently degrades the pool, so fallible paths must return typed
+//!    errors (`PduError`, `ServerError`, `PmcdError`).
+//! 2. **relaxed-ok** — every `Ordering::Relaxed` must carry a
+//!    `// relaxed-ok: <why>` justification on the same line or in the
+//!    comment block directly above it (multi-line justifications carry the
+//!    tag on their first line). The simulator is deliberately lock-free
+//!    around the nest counters; the annotation forces each site to argue
+//!    why relaxed ordering cannot lose or reorder anything the readers
+//!    care about.
+//! 3. **privilege-taint** — outside `memsim` and `pcp` (the two crates that
+//!    *implement* the privilege boundary), any `pub fn` whose body reads
+//!    `NestCounters` (via `.counters()` / `.counters_arc()`) must either
+//!    take a `&PrivilegeToken` in its signature or waive the rule with a
+//!    `// privilege-ok: <why>` comment at the access site. This is a taint
+//!    check: socket-wide counters are privileged state, and every public
+//!    door to them must show its capability.
+//!
+//! The scanner is a lightweight lexer (comments, strings and char literals
+//! stripped; `#[cfg(test)]` modules brace-matched and skipped), not a full
+//! parser — deliberately dependency-free so `cargo xtask lint` works
+//! offline.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code must be panic-free (rule 1).
+const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp"];
+
+/// Crates allowed to read `NestCounters` without a token (rule 3): they
+/// implement the privilege boundary rather than crossing it.
+const TAINT_EXEMPT_CRATES: &[&str] = &["memsim", "pcp"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    NoPanic,
+    RelaxedOk,
+    PrivilegeTaint,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::NoPanic => write!(f, "no-panic"),
+            Rule::RelaxedOk => write!(f, "relaxed-ok"),
+            Rule::PrivilegeTaint => write!(f, "privilege-taint"),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// A source file split into parallel per-line views.
+struct Scrubbed {
+    /// Code with comments, string contents and char literals blanked.
+    code: Vec<String>,
+    /// Comment text per line (line + block comments).
+    comment: Vec<String>,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    is_test: Vec<bool>,
+}
+
+/// Lex `source` into code/comment line views.
+fn scrub(source: &str) -> Scrubbed {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(source.len() / 4);
+    let mut state = State::Code;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '\n' {
+            code.push('\n');
+            comment.push('\n');
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    comment.push(' ');
+                    i += 1; // second slash consumed below as comment text
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    comment.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    comment.push(' ');
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&code) {
+                    // Possible raw / byte / raw-byte string prefix.
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') && (c == 'r' || bytes.get(i + 1) != Some(&'"')) {
+                        // r"…", r#"…"#, br"…" — but a plain b"…" only when
+                        // the quote directly follows the b.
+                        for _ in i..=j {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    } else if c == 'b' && bytes.get(i + 1) == Some(&'"') {
+                        code.push_str("  ");
+                        comment.push_str("  ");
+                        state = State::Str;
+                        i += 2;
+                        continue;
+                    } else {
+                        code.push(c);
+                        comment.push(' ');
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a char literal closes with
+                    // a quote one or two (escaped) chars later.
+                    let is_char = matches!(
+                        (next, bytes.get(i + 2)),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char {
+                        state = State::Char;
+                    }
+                    code.push(' ');
+                    comment.push(' ');
+                } else {
+                    code.push(c);
+                    comment.push(' ');
+                }
+            }
+            State::LineComment => {
+                code.push(' ');
+                comment.push(c);
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    code.push_str("  ");
+                    comment.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    code.push_str("  ");
+                    comment.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    continue;
+                }
+                code.push(' ');
+                comment.push(c);
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    comment.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                code.push(' ');
+                comment.push(' ');
+                if c == '"' {
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        i += hashes + 1;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                comment.push(' ');
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    comment.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                code.push(' ');
+                comment.push(' ');
+                if c == '\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let code: Vec<String> = code.lines().map(str::to_owned).collect();
+    let comment: Vec<String> = comment.lines().map(str::to_owned).collect();
+    let is_test = mark_test_lines(&code);
+    Scrubbed {
+        code,
+        comment,
+        is_test,
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Mark lines belonging to `#[cfg(test)]` items (brace-matched).
+fn mark_test_lines(code: &[String]) -> Vec<bool> {
+    let mut out = vec![false; code.len()];
+    let mut pending_attr = false;
+    let mut depth: i64 = 0; // >0 while inside a cfg(test) item
+    let mut waiting_open = false;
+    for (ln, line) in code.iter().enumerate() {
+        if depth > 0 || waiting_open {
+            out[ln] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        waiting_open = false;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth <= 0 && !waiting_open {
+                depth = 0;
+            }
+            continue;
+        }
+        let t = line.trim_start();
+        if t.starts_with("#[") && (t.contains("cfg(test") || t.contains("cfg(all(test")) {
+            pending_attr = true;
+            out[ln] = true;
+            continue;
+        }
+        if pending_attr {
+            out[ln] = true;
+            if t.starts_with("#[") {
+                continue; // stacked attributes
+            }
+            pending_attr = false;
+            if t.starts_with("mod ")
+                || t.starts_with("pub mod ")
+                || t.contains("fn ")
+                || t.starts_with("impl")
+            {
+                waiting_open = true;
+                for c in line.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            waiting_open = false;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth <= 0 && !waiting_open {
+                    depth = 0;
+                }
+            }
+            // Otherwise (`use`, type alias …) the attribute gates only this
+            // line, which is already marked.
+        }
+    }
+    out
+}
+
+/// True when `line`'s or the previous line's comment carries `tag`.
+fn annotated(s: &Scrubbed, ln: usize, tag: &str) -> bool {
+    if s.comment[ln].contains(tag) {
+        return true;
+    }
+    // Walk up through the contiguous comment block directly above: a
+    // multi-line justification may carry the tag on its first line.
+    let mut i = ln;
+    while i > 0 {
+        i -= 1;
+        if s.comment[i].contains(tag) {
+            return true;
+        }
+        // Stop once we leave the comment block (a code line or a blank
+        // line). The line immediately above may carry code (a trailing
+        // comment there still counts, matching the one-line form).
+        if !s.code[i].trim().is_empty() || s.comment[i].trim().is_empty() {
+            break;
+        }
+    }
+    false
+}
+
+/// Lint one file's source. `crate_name` is the directory name under
+/// `crates/` (the root package lints as `papi-repro`).
+pub fn lint_source(crate_name: &str, file: &str, source: &str) -> Vec<Violation> {
+    let s = scrub(source);
+    let mut out = Vec::new();
+
+    // Rule 1: no-panic in server/codec crates.
+    if NO_PANIC_CRATES.contains(&crate_name) {
+        for (ln, code) in s.code.iter().enumerate() {
+            if s.is_test[ln] {
+                continue;
+            }
+            for needle in [".unwrap()", ".expect(", "panic!"] {
+                if code.contains(needle) {
+                    out.push(Violation {
+                        file: file.to_owned(),
+                        line: ln + 1,
+                        rule: Rule::NoPanic,
+                        msg: format!(
+                            "`{needle}` in non-test {crate_name} code; return a typed error instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 2: relaxed-ok justifications.
+    for (ln, code) in s.code.iter().enumerate() {
+        if s.is_test[ln] || !code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if !annotated(&s, ln, "relaxed-ok:") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: ln + 1,
+                rule: Rule::RelaxedOk,
+                msg: "`Ordering::Relaxed` without a `// relaxed-ok:` justification".to_owned(),
+            });
+        }
+    }
+
+    // Rule 3: privilege taint.
+    if !TAINT_EXEMPT_CRATES.contains(&crate_name) {
+        taint_check(&s, file, &mut out);
+    }
+
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Needles that constitute a `NestCounters` read.
+const TAINT_NEEDLES: &[&str] = &[".counters()", ".counters_arc()"];
+
+fn taint_check(s: &Scrubbed, file: &str, out: &mut Vec<Violation>) {
+    let flat: String = s
+        .code
+        .iter()
+        .flat_map(|l| l.chars().chain(std::iter::once('\n')))
+        .collect();
+    let line_of = |pos: usize| flat[..pos].matches('\n').count();
+
+    let mut search = 0;
+    while let Some(rel) = flat[search..].find("fn ") {
+        let at = search + rel;
+        search = at + 3;
+        // Token boundary on the left.
+        if at > 0
+            && flat[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        let fn_line = line_of(at);
+        if s.is_test[fn_line] {
+            continue;
+        }
+        // Public? The declaration line must start with plain `pub`
+        // (`pub(crate)`/`pub(super)` are not public API).
+        let decl = s.code[fn_line].trim_start();
+        let is_pub = decl.starts_with("pub fn")
+            || decl.starts_with("pub async fn")
+            || decl.starts_with("pub const fn")
+            || decl.starts_with("pub unsafe fn");
+        if !is_pub {
+            continue;
+        }
+        // Signature: everything up to the body brace (or `;` for decls).
+        let Some(body_open) = find_body_open(&flat, at) else {
+            continue;
+        };
+        let signature = &flat[at..body_open];
+        let Some(body_close) = match_brace(&flat, body_open) else {
+            continue;
+        };
+        let body = &flat[body_open..body_close];
+        if !TAINT_NEEDLES.iter().any(|n| body.contains(n)) {
+            continue;
+        }
+        if signature.contains("PrivilegeToken") {
+            continue;
+        }
+        // No token in the signature: every access site needs a waiver.
+        for needle in TAINT_NEEDLES {
+            let mut pos = 0;
+            while let Some(p) = body[pos..].find(needle) {
+                let abs = body_open + pos + p;
+                pos += p + needle.len();
+                let ln = line_of(abs);
+                if !annotated(s, ln, "privilege-ok:") {
+                    out.push(Violation {
+                        file: file.to_owned(),
+                        line: ln + 1,
+                        rule: Rule::PrivilegeTaint,
+                        msg: format!(
+                            "public fn reads NestCounters via `{needle}` without taking \
+                             `&PrivilegeToken` (add the parameter or a `// privilege-ok:` waiver)"
+                        ),
+                    });
+                }
+            }
+        }
+        search = body_close;
+    }
+}
+
+/// Find the `{` opening the body of the fn declared at `at`, or `None` for
+/// a bodiless declaration (trait method). Skips braces inside the argument
+/// list / return type generics by tracking parens and angle depth coarsely.
+fn find_body_open(flat: &str, at: usize) -> Option<usize> {
+    let bytes = flat.as_bytes();
+    let mut paren = 0i64;
+    for (off, &b) in bytes[at..].iter().enumerate() {
+        match b {
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b'{' if paren == 0 => return Some(at + off),
+            b';' if paren == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn match_brace(flat: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (off, b) in flat.as_bytes()[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Walks the root package's
+/// `src/` and `examples/` plus every `crates/*/src` (vendored shims and
+/// `tests/` trees are out of scope: the former are stand-ins, the latter
+/// are test code by definition).
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
+    let mut files = Vec::new();
+    walk(&root.join("src"), &mut files)?;
+    walk(&root.join("examples"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<_> = std::fs::read_dir(&crates)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            walk(&dir.join("src"), &mut files)?;
+            walk(&dir.join("examples"), &mut files)?;
+        }
+    }
+
+    let mut violations = Vec::new();
+    let nfiles = files.len();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let crate_name = crate_of(rel);
+        let source = std::fs::read_to_string(&path)?;
+        violations.extend(lint_source(
+            &crate_name,
+            &rel.display().to_string(),
+            &source,
+        ));
+    }
+    Ok((nfiles, violations))
+}
+
+/// Crate name of a workspace-relative path (`crates/<name>/…` or the root
+/// package).
+fn crate_of(rel: &Path) -> String {
+    let mut parts = rel.components();
+    match parts.next().and_then(|c| c.as_os_str().to_str()) {
+        Some("crates") => parts
+            .next()
+            .and_then(|c| c.as_os_str().to_str())
+            .unwrap_or("papi-repro")
+            .to_owned(),
+        _ => "papi-repro".to_owned(),
+    }
+}
+
+/// Entry point for `cargo xtask lint`: prints findings, returns the count.
+pub fn run(root: &Path) -> std::io::Result<usize> {
+    let (nfiles, violations) = lint_workspace(root)?;
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("lint clean: {nfiles} files, 3 rules");
+    } else {
+        eprintln!("{} violation(s) in {nfiles} files", violations.len());
+    }
+    Ok(violations.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let s = scrub("let x = \"panic!\"; // panic! in comment\n");
+        assert!(!s.code[0].contains("panic!"));
+        assert!(s.comment[0].contains("panic!"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let s = scrub("fn f<'a>(x: &'a str) { x.unwrap() }\n");
+        assert!(s.code[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test[0]);
+        assert!(s.is_test[2]);
+        assert!(s.is_test[3]);
+        assert!(s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn relaxed_annotation_may_precede() {
+        let src = "// relaxed-ok: statistics only\nx.load(Ordering::Relaxed);\n";
+        assert!(lint_source("memsim", "f.rs", src).is_empty());
+        let bad = "x.load(Ordering::Relaxed);\n";
+        let v = lint_source("memsim", "f.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::RelaxedOk);
+    }
+
+    #[test]
+    fn relaxed_annotation_spans_comment_block() {
+        // Tag on the first line of a multi-line justification.
+        let src = "// relaxed-ok: a long argument that\n// wraps onto a second line.\nx.load(Ordering::Relaxed);\n";
+        assert!(lint_source("memsim", "f.rs", src).is_empty());
+        // A blank line breaks the block: the tag no longer applies.
+        let bad = "// relaxed-ok: detached\n\nx.load(Ordering::Relaxed);\n";
+        let v = lint_source("memsim", "f.rs", bad);
+        assert_eq!(v.len(), 1);
+        // An intervening code line breaks the block too.
+        let bad = "// relaxed-ok: for the store\ny.store(1, Ordering::Relaxed);\nx.load(Ordering::Relaxed);\n";
+        let v = lint_source("memsim", "f.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! `cargo xtask <task>` — workspace automation entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match xtask::lint::run(&workspace_root()) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("xtask lint: io error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}

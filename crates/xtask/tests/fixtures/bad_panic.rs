@@ -1,0 +1,25 @@
+//! Seeded no-panic violations: this fixture is linted as if it lived in
+//! `crates/pcp-wire/src/`.
+
+pub fn handle_request(frame: Option<&[u8]>) -> u8 {
+    let f = frame.unwrap();
+    if f.is_empty() {
+        panic!("empty frame");
+    }
+    f.first().copied().expect("nonempty")
+}
+
+pub fn fine(frame: Option<&[u8]>) -> u8 {
+    frame
+        .and_then(|f| f.first().copied())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded relaxed-ok violations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn justified_same_line(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // relaxed-ok: monotonic statistic, staleness tolerated
+}
+
+pub fn justified_prev_line(c: &AtomicU64) {
+    // relaxed-ok: counter increment, no ordering dependency
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,29 @@
+//! Seeded privilege-taint violations: linted as if it lived in a
+//! measurement crate (outside memsim/pcp).
+
+pub struct Shared;
+pub struct Counters;
+pub struct PrivilegeToken;
+
+impl Shared {
+    fn counters(&self) -> Counters {
+        Counters
+    }
+}
+
+pub fn leaky_read(shared: &Shared) -> Counters {
+    shared.counters()
+}
+
+pub fn tokened_read(shared: &Shared, _token: &PrivilegeToken) -> Counters {
+    shared.counters()
+}
+
+pub fn waived_read(shared: &Shared) -> Counters {
+    // privilege-ok: harness-internal bookkeeping, not a measurement path
+    shared.counters()
+}
+
+fn private_read(shared: &Shared) -> Counters {
+    shared.counters()
+}

@@ -1,0 +1,67 @@
+//! The lint must fail on its own seeded-violation fixtures — and only on
+//! the seeded lines.
+
+use xtask::lint::{lint_source, Rule};
+
+const BAD_PANIC: &str = include_str!("fixtures/bad_panic.rs");
+const BAD_RELAXED: &str = include_str!("fixtures/bad_relaxed.rs");
+const BAD_TAINT: &str = include_str!("fixtures/bad_taint.rs");
+
+#[test]
+fn no_panic_rule_catches_seeded_violations() {
+    let v = lint_source("pcp-wire", "fixtures/bad_panic.rs", BAD_PANIC);
+    let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, vec![Rule::NoPanic; 3], "{v:?}");
+    let lines: Vec<_> = v.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![5, 7, 9], "{v:?}");
+}
+
+#[test]
+fn no_panic_rule_only_applies_to_server_codec_crates() {
+    assert!(lint_source("memsim", "fixtures/bad_panic.rs", BAD_PANIC).is_empty());
+    assert!(lint_source("kernels", "fixtures/bad_panic.rs", BAD_PANIC).is_empty());
+}
+
+#[test]
+fn relaxed_rule_requires_justification() {
+    let v = lint_source("memsim", "fixtures/bad_relaxed.rs", BAD_RELAXED);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::RelaxedOk);
+    assert_eq!(v[0].line, 6);
+}
+
+#[test]
+fn taint_rule_requires_token_or_waiver_on_public_fns() {
+    let v = lint_source("kernels", "fixtures/bad_taint.rs", BAD_TAINT);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::PrivilegeTaint);
+    assert_eq!(v[0].line, 15);
+}
+
+#[test]
+fn taint_rule_exempts_boundary_crates() {
+    assert!(lint_source("memsim", "fixtures/bad_taint.rs", BAD_TAINT).is_empty());
+    assert!(lint_source("pcp", "fixtures/bad_taint.rs", BAD_TAINT).is_empty());
+}
+
+#[test]
+fn workspace_lint_runs_clean() {
+    // The real tree must satisfy its own rules: this is the same walk
+    // `cargo xtask lint` performs in CI.
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let (nfiles, violations) = xtask::lint::lint_workspace(&root).expect("walk workspace");
+    assert!(nfiles > 50, "walked only {nfiles} files");
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -28,7 +28,8 @@ fn main() {
     let sockets: Vec<_> = (0..machine.num_sockets())
         .map(|s| machine.socket_shared(s))
         .collect();
-    let daemon = Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default());
+    let daemon =
+        Pmcd::spawn_system(pmns.clone(), sockets, PmcdConfig::default()).expect("spawn pmcd");
 
     // Log both directions of channel 0 every 2 ms of simulated time.
     let metrics = vec![
@@ -98,7 +99,8 @@ fn main() {
         .map(|s| machine.socket_shared(s))
         .collect();
     let server =
-        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default());
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
+            .expect("bind pmcd server");
     println!("\nlive pmcd server on {}", server.local_addr());
 
     let client = WireClient::connect(server.local_addr()).expect("connect pmlogger client");
@@ -121,7 +123,8 @@ fn main() {
             metrics,
             interval: Duration::from_millis(10),
         }],
-    );
+    )
+    .expect("start sampling scheduler");
 
     // Generate traffic in bursts while the scheduler samples it.
     let shared = machine.socket_shared(0);

@@ -40,7 +40,8 @@ fn main() {
     let sockets: Vec<_> = (0..cluster.machine().num_sockets())
         .map(|s| cluster.machine().socket_shared(s))
         .collect();
-    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default());
+    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default())
+        .expect("spawn pmcd");
     let ctx = PcpContext::connect(pmcd.handle(), Some(cluster.machine().socket_shared(0)));
     let mut papi = papi_repro::papi::Papi::new();
     papi.register(Box::new(PcpComponent::new(ctx, pmns, sockets)));

@@ -32,7 +32,8 @@ fn main() {
         pmns.clone(),
         sockets.clone(),
         WireConfig::default(),
-    );
+    )
+    .expect("bind pmcd server");
     println!("pmcd serving on {}", server.local_addr());
 
     // --- Namespace walk over the wire -------------------------------

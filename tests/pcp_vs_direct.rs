@@ -140,13 +140,15 @@ fn wire_and_inprocess_transports_report_identical_byte_counts() {
             fetch_latency_s: 0.0,
             fetch_touch: false,
         },
-    );
+    )
+    .expect("spawn pmcd");
     let server = PmcdServer::bind_system(
         "127.0.0.1:0",
         pmns.clone(),
         sockets.clone(),
         WireConfig::default(),
-    );
+    )
+    .expect("bind pmcd server");
 
     let inproc = PcpComponent::with_client(
         PcpContext::connect(daemon.handle(), None),
