@@ -105,4 +105,5 @@ fn main() {
         "hw_prefetch,stream-read cycles/sector,{c_on:.1},{c_off:.1},\
          prefetch hides the demand-miss latency"
     );
+    repro_bench::obsreport::write_artifacts("ablation");
 }

@@ -51,4 +51,5 @@ fn main() {
         full >> 20,
         full as f64 / capped as f64
     );
+    repro_bench::obsreport::write_artifacts("fig1");
 }

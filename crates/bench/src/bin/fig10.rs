@@ -61,4 +61,5 @@ fn main() {
             );
         }
     }
+    repro_bench::obsreport::write_artifacts("fig10");
 }

@@ -95,4 +95,5 @@ fn main() {
             means[0], means[1], means[2], means[3]
         );
     }
+    repro_bench::obsreport::write_artifacts("fig11");
 }

@@ -101,4 +101,5 @@ fn main() {
         "# physics check: E(vmc)={:.4}, E(vmc-drift)={:.4}, E(dmc)={:.4} (exact 1.5)",
         result.vmc_energy, result.vmc_drift_energy, result.dmc_energy
     );
+    repro_bench::obsreport::write_artifacts("fig12");
 }

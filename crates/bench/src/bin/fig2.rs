@@ -32,4 +32,5 @@ fn main() {
     let rows = gemm_sweep(system, 1, &sizes, |_| 1, seed);
     let bounds = blas_kernels::gemm_cache_bounds(p9_arch::L3_PER_CORE_BYTES);
     print_gemm_rows(&rows, bounds);
+    repro_bench::obsreport::write_artifacts("fig2");
 }

@@ -34,4 +34,5 @@ fn main() {
         print_gemm_rows(&rows, bounds);
         println!();
     }
+    repro_bench::obsreport::write_artifacts("fig4");
 }

@@ -30,4 +30,5 @@ fn main() {
     );
     let rows = gemv_sweep(system, threads, &sizes, seed);
     print_gemv_rows(&rows);
+    repro_bench::obsreport::write_artifacts("fig5");
 }

@@ -47,4 +47,5 @@ fn main() {
         print_resort_rows(&rows);
         println!();
     }
+    repro_bench::obsreport::write_artifacts("fig7");
 }

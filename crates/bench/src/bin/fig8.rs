@@ -34,4 +34,5 @@ fn main() {
         })
         .collect();
     print_resort_rows(&rows);
+    repro_bench::obsreport::write_artifacts("fig8");
 }

@@ -38,4 +38,5 @@ fn main() {
         print_resort_rows(&rows);
         println!();
     }
+    repro_bench::obsreport::write_artifacts("fig9");
 }

@@ -38,4 +38,5 @@ fn main() {
         }
         drop(machine);
     }
+    repro_bench::obsreport::write_artifacts("table1");
 }

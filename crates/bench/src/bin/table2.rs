@@ -28,4 +28,5 @@ fn main() {
             println!("{hardware},{},{},{}", status.name, ev.name, ev.units);
         }
     }
+    repro_bench::obsreport::write_artifacts("table2");
 }

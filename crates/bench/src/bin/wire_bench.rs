@@ -88,12 +88,14 @@ fn main() {
     let probe = WireClient::connect(addr).expect("connect probe");
     let hist = [
         "pmcd.fetch.count",
-        "pmcd.fetch.latency_seconds.le_10us",
-        "pmcd.fetch.latency_seconds.le_50us",
-        "pmcd.fetch.latency_seconds.le_100us",
-        "pmcd.fetch.latency_seconds.le_500us",
-        "pmcd.fetch.latency_seconds.le_1ms",
+        "pmcd.fetch.latency_ns.lt_1024",
+        "pmcd.fetch.latency_ns.lt_16384",
+        "pmcd.fetch.latency_ns.lt_131072",
+        "pmcd.fetch.latency_ns.lt_1048576",
+        "pmcd.fetch.latency_ns.lt_16777216",
         "pmcd.fetch.latency_ns.sum",
+        "pmcd.queue.depth",
+        "pmcd.queue.shed",
     ];
     let ids: Vec<_> = hist
         .iter()
@@ -116,9 +118,57 @@ fn main() {
         );
     }
 
+    write_bench_obs(&counts, &requests, &hist, &vals, rtps);
+
     assert!(
         rtps >= MIN_AGGREGATE_RTPS,
         "aggregate {rtps:.0} fetch round-trips/s below the {MIN_AGGREGATE_RTPS} floor"
     );
     println!("PASS: >= {MIN_AGGREGATE_RTPS} aggregate fetch round-trips/s");
+
+    repro_bench::obsreport::write_artifacts("wire_bench");
+}
+
+/// Emit `results/BENCH_obs.json`: throughput plus the server's own
+/// queue-depth/shed-rate and fetch-latency self-metrics, as read back
+/// over the wire. Hand-rolled JSON — the workspace has no serde.
+fn write_bench_obs(
+    counts: &[u64],
+    requests: &[(pcp_sim::MetricId, pcp_sim::InstanceId)],
+    hist_names: &[&str],
+    hist_vals: &[u64],
+    rtps: f64,
+) {
+    let total: u64 = counts.iter().sum();
+    let secs = MEASURE.as_secs_f64();
+    let shed = hist_vals[hist_names
+        .iter()
+        .position(|n| *n == "pmcd.queue.shed")
+        .unwrap()];
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    json.push_str(&format!("  \"batch_metrics\": {},\n", requests.len()));
+    json.push_str(&format!("  \"measure_seconds\": {secs},\n"));
+    json.push_str(&format!("  \"total_round_trips\": {total},\n"));
+    json.push_str(&format!("  \"aggregate_rtps\": {rtps:.1},\n"));
+    json.push_str(&format!(
+        "  \"shed_per_second\": {:.3},\n",
+        shed as f64 / secs
+    ));
+    let per: Vec<String> = counts.iter().map(|n| n.to_string()).collect();
+    json.push_str(&format!(
+        "  \"per_client_round_trips\": [{}],\n",
+        per.join(", ")
+    ));
+    json.push_str("  \"server_self_metrics\": {\n");
+    for (i, (name, v)) in hist_names.iter().zip(hist_vals).enumerate() {
+        let comma = if i + 1 < hist_names.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/BENCH_obs.json", &json).is_ok()
+    {
+        println!("  wrote results/BENCH_obs.json");
+    }
 }

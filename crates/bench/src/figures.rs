@@ -38,6 +38,8 @@ pub fn gemm_sweep(
     sizes
         .iter()
         .map(|&n| {
+            #[cfg(feature = "obs")]
+            let _span = obs::span!("bench.gemm_point", n);
             let reps = reps_of(n);
             let cfg = MeasureConfig {
                 reps,
@@ -92,6 +94,8 @@ pub fn gemv_sweep(system: System, threads: usize, sizes: &[u64], seed: u64) -> V
     sizes
         .iter()
         .map(|&m| {
+            #[cfg(feature = "obs")]
+            let _span = obs::span!("bench.gemv_point", m);
             let n = m.min(GEMV_CAP);
             let reps = blas_kernels::repetitions(m);
             let cfg = MeasureConfig {
@@ -151,6 +155,8 @@ pub fn measure_resort(
     runs: usize,
     seed: u64,
 ) -> ResortRow {
+    #[cfg(feature = "obs")]
+    let _span = obs::span!("bench.resort_point", n as u64);
     let (mut machine, setup) = crate::node(System::Summit, seed);
     machine.set_software_prefetch(0, prefetch);
     let events = NestEvents::pcp(&machine);

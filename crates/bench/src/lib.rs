@@ -8,6 +8,7 @@ use p9_memsim::SimMachine;
 use papi_sim::papi::{setup_node, NodeSetup};
 
 pub mod figures;
+pub mod obsreport;
 
 /// Minimal `--key value` / `--flag` argument parser (no external deps).
 #[derive(Debug, Default)]

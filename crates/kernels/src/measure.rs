@@ -93,6 +93,8 @@ where
     K: Sync,
 {
     assert!(cfg.reps >= 1);
+    #[cfg(feature = "obs")]
+    let _span = obs::span!("kernels.measure_traffic", cfg.reps as u64);
     let mut es = EventSet::new();
     for e in events.reads.iter().chain(&events.writes) {
         es.add_event(e)?;

@@ -112,12 +112,16 @@ impl NestCounters {
         // relaxed-ok: independent monotonic statistic; no reader orders
         // other memory against it, and the RMW itself cannot lose counts.
         .fetch_add(SECTOR_BYTES, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        obs::counter!("memsim.mba.sector_txns").inc();
     }
 
     /// Record `bytes` of traffic spread evenly across channels (used by the
     /// background-noise process and by device DMA, where per-sector
     /// attribution is irrelevant).
     pub fn record_bulk(&self, bytes: u64, dir: Direction) {
+        #[cfg(feature = "obs")]
+        obs::counter!("memsim.mba.bulk_bytes").add(bytes);
         #[cfg(feature = "verify")]
         match dir {
             Direction::Read => &self.bulk.read_total,

@@ -1,0 +1,438 @@
+//! Chrome `trace_event` JSON exporter — and a small parser for it.
+//!
+//! The exporter emits the "JSON Object Format" understood by
+//! `chrome://tracing` and Perfetto: a `traceEvents` array of complete
+//! (`"ph":"X"`) and instant (`"ph":"i"`) events with microsecond
+//! timestamps. The parser exists so the round trip can be validated in
+//! tests without a JSON dependency: it is a strict subset of JSON
+//! sufficient for the documents this module produces.
+
+use crate::trace::{Kind, SpanEvent};
+
+/// Render events (from [`crate::trace::drain`]) as a Chrome trace
+/// document. Timestamps and durations are microseconds with nanosecond
+/// precision; the tracer tid becomes the trace tid so each recording
+/// thread gets its own lane.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 110 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(e.label, &mut out);
+        out.push_str("\",\"cat\":\"obs\",\"ph\":\"");
+        match e.kind {
+            Kind::Span => out.push('X'),
+            Kind::Instant => out.push('i'),
+        }
+        out.push_str("\",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(",\"ts\":");
+        push_us(e.start_ns, &mut out);
+        if e.kind == Kind::Span {
+            out.push_str(",\"dur\":");
+            push_us(e.dur_ns, &mut out);
+        } else {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{\"arg\":");
+        out.push_str(&e.arg.to_string());
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds rendered as a decimal microsecond literal (`1234` ns →
+/// `1.234`).
+fn push_us(ns: u64, out: &mut String) {
+    out.push_str(&(ns / 1000).to_string());
+    let frac = ns % 1000;
+    if frac != 0 {
+        out.push('.');
+        let s = format!("{frac:03}");
+        out.push_str(s.trim_end_matches('0'));
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// One event as read back from a Chrome trace document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedEvent {
+    /// Event name (the span label).
+    pub name: String,
+    /// Phase: `'X'` (complete) or `'i'` (instant).
+    pub ph: char,
+    /// Thread lane.
+    pub tid: u64,
+    /// Start, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds (complete events only).
+    pub dur_us: Option<f64>,
+    /// The `args.arg` payload, if numeric.
+    pub arg: Option<u64>,
+}
+
+/// Parse and schema-check a Chrome trace document: the top level must
+/// hold a `traceEvents` array and every event must carry `name`, a
+/// known `ph`, `pid`, `tid`, and `ts`; complete events must carry
+/// `dur`. Rejects anything malformed with a description.
+pub fn parse_chrome_trace(doc: &str) -> Result<Vec<ParsedEvent>, String> {
+    let json = parse_json(doc)?;
+    let top = match json {
+        Json::Obj(fields) => fields,
+        _ => return Err("top level is not an object".into()),
+    };
+    let events = match top.iter().find(|(k, _)| k == "traceEvents") {
+        Some((_, Json::Arr(items))) => items,
+        Some(_) => return Err("traceEvents is not an array".into()),
+        None => return Err("missing traceEvents".into()),
+    };
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let fields = match ev {
+            Json::Obj(f) => f,
+            _ => return Err(format!("event {i} is not an object")),
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let name = match get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err(format!("event {i}: missing string name")),
+        };
+        let ph = match get("ph") {
+            Some(Json::Str(s)) if s == "X" || s == "i" => {
+                s.chars().next().unwrap_or('X') // single-char by match guard
+            }
+            Some(Json::Str(s)) => return Err(format!("event {i}: unknown ph {s:?}")),
+            _ => return Err(format!("event {i}: missing ph")),
+        };
+        if get("pid").is_none() {
+            return Err(format!("event {i}: missing pid"));
+        }
+        let tid = match get("tid") {
+            Some(Json::Num(n)) if *n >= 0.0 => *n as u64,
+            _ => return Err(format!("event {i}: missing numeric tid")),
+        };
+        let ts_us = match get("ts") {
+            Some(Json::Num(n)) => *n,
+            _ => return Err(format!("event {i}: missing numeric ts")),
+        };
+        let dur_us = match (ph, get("dur")) {
+            ('X', Some(Json::Num(n))) => Some(*n),
+            ('X', _) => return Err(format!("event {i}: complete event without dur")),
+            (_, _) => None,
+        };
+        let arg = match get("args") {
+            Some(Json::Obj(args)) => args.iter().find(|(k, _)| k == "arg").and_then(|(_, v)| {
+                if let Json::Num(n) = v {
+                    Some(*n as u64)
+                } else {
+                    None
+                }
+            }),
+            _ => None,
+        };
+        out.push(ParsedEvent {
+            name,
+            ph,
+            tid,
+            ts_us,
+            dur_us,
+            arg,
+        });
+    }
+    Ok(out)
+}
+
+/// Minimal JSON value (enough for trace documents).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse a JSON document (objects, arrays, strings with escapes,
+/// numbers, booleans, null). Trailing garbage is an error.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected byte at {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape hex")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is &str, so this is
+                // always a valid boundary walk).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad utf8")?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                label: "kernels.measure_traffic",
+                tid: 1,
+                start_ns: 1_500,
+                dur_ns: 2_000_000,
+                arg: 512,
+                kind: Kind::Span,
+            },
+            SpanEvent {
+                label: "memsim.run_parallel",
+                tid: 1,
+                start_ns: 10_000,
+                dur_ns: 1_000_123,
+                arg: 4,
+                kind: Kind::Span,
+            },
+            SpanEvent {
+                label: "pmcd.shed",
+                tid: 2,
+                start_ns: 55_001,
+                dur_ns: 0,
+                arg: 0,
+                kind: Kind::Instant,
+            },
+        ]
+    }
+
+    #[test]
+    fn exporter_round_trips_through_parser() {
+        let events = sample_events();
+        let doc = chrome_trace_json(&events);
+        let parsed = parse_chrome_trace(&doc).expect("valid trace document");
+        assert_eq!(parsed.len(), events.len());
+        for (p, e) in parsed.iter().zip(events.iter()) {
+            assert_eq!(p.name, e.label);
+            assert_eq!(p.tid, e.tid);
+            assert_eq!(p.ph, if e.kind == Kind::Span { 'X' } else { 'i' });
+            let ts_ns = p.ts_us * 1000.0;
+            assert!(
+                (ts_ns - e.start_ns as f64).abs() < 1.0,
+                "ts drift: {} vs {}",
+                ts_ns,
+                e.start_ns
+            );
+            match e.kind {
+                Kind::Span => {
+                    let dur_ns = p.dur_us.expect("span has dur") * 1000.0;
+                    assert!((dur_ns - e.dur_ns as f64).abs() < 1.0);
+                }
+                Kind::Instant => assert_eq!(p.dur_us, None),
+            }
+            assert_eq!(p.arg, Some(e.arg));
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let doc = chrome_trace_json(&[]);
+        assert_eq!(parse_chrome_trace(&doc).expect("valid"), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_chrome_trace("[]").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":7}").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // Complete event without dur violates the schema.
+        assert!(parse_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0}]}"
+        )
+        .is_err());
+        assert!(parse_json("{\"a\":1} x").is_err());
+    }
+
+    #[test]
+    fn labels_with_quotes_and_control_chars_survive() {
+        let events = vec![SpanEvent {
+            label: "odd \"label\"\twith\nnoise\\",
+            tid: 3,
+            start_ns: 0,
+            dur_ns: 10,
+            arg: 1,
+            kind: Kind::Span,
+        }];
+        let doc = chrome_trace_json(&events);
+        let parsed = parse_chrome_trace(&doc).expect("valid");
+        assert_eq!(parsed[0].name, events[0].label);
+    }
+}

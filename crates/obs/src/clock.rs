@@ -1,0 +1,130 @@
+//! Monotonic timestamps for trace records.
+//!
+//! The hot path ([`now_ticks`]) must cost a handful of nanoseconds and
+//! never allocate, so on x86_64 it is a bare `rdtsc` read returning raw
+//! ticks. Conversion to nanoseconds is deferred to drain time: the first
+//! drain calibrates ticks-per-nanosecond against `Instant` over a window
+//! of at least a few milliseconds and caches the result. On other
+//! architectures the "ticks" are already nanoseconds since a process
+//! epoch and calibration degenerates to a 1:1 rate.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock window used to calibrate the tick rate. Shorter
+/// windows make the ratio noisy; the first drain sleeps out the
+/// remainder if records were produced faster than this.
+const MIN_CALIBRATION_WINDOW: Duration = Duration::from_millis(5);
+
+/// Raw monotonic timestamp. On x86_64 this is the time-stamp counter
+/// (invariant TSC on every CPU this repo targets); elsewhere it falls
+/// back to `Instant` nanoseconds relative to a process epoch.
+#[inline(always)]
+pub fn now_ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `rdtsc` is unprivileged and available on all x86_64 CPUs.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        fallback_epoch().elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fallback_epoch() -> &'static Instant {
+    static FALLBACK_EPOCH: OnceLock<Instant> = OnceLock::new();
+    FALLBACK_EPOCH.get_or_init(Instant::now)
+}
+
+/// The tick→nanosecond mapping established at drain time.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    epoch_ticks: u64,
+    ticks_per_ns: f64,
+}
+
+impl Calibration {
+    /// Absolute ticks → nanoseconds since the trace epoch. Ticks taken
+    /// before the epoch was pinned (only possible for the very first
+    /// span of the process) clamp to zero.
+    #[inline]
+    pub fn ticks_to_ns(&self, ticks: u64) -> u64 {
+        (ticks.saturating_sub(self.epoch_ticks) as f64 / self.ticks_per_ns) as u64
+    }
+
+    /// Tick *delta* → nanoseconds.
+    #[inline]
+    pub fn delta_ns(&self, dticks: u64) -> u64 {
+        (dticks as f64 / self.ticks_per_ns) as u64
+    }
+
+    /// Calibrated tick rate (ticks per nanosecond; ≈ CPU GHz on x86_64).
+    pub fn ticks_per_ns(&self) -> f64 {
+        self.ticks_per_ns
+    }
+}
+
+static EPOCH: OnceLock<(u64, Instant)> = OnceLock::new();
+static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+
+/// Pin the trace epoch (idempotent). Called from ring registration so
+/// the epoch predates every drained record; callers may also invoke it
+/// at startup to anchor timestamps as early as possible.
+pub fn ensure_epoch() {
+    let _ = EPOCH.get_or_init(|| (now_ticks(), Instant::now()));
+}
+
+/// The calibrated tick→ns mapping, measured on first use. The first
+/// call may sleep a few milliseconds to widen the measurement window;
+/// subsequent calls are a single atomic load.
+pub fn calibration() -> Calibration {
+    *CALIBRATION.get_or_init(|| {
+        let &(epoch_ticks, epoch_instant) = EPOCH.get_or_init(|| (now_ticks(), Instant::now()));
+        let elapsed = epoch_instant.elapsed();
+        if elapsed < MIN_CALIBRATION_WINDOW {
+            std::thread::sleep(MIN_CALIBRATION_WINDOW - elapsed);
+        }
+        let dticks = now_ticks().saturating_sub(epoch_ticks);
+        let dns = epoch_instant.elapsed().as_nanos() as f64;
+        let rate = if dticks == 0 || dns <= 0.0 {
+            1.0
+        } else {
+            (dticks as f64 / dns).max(1e-9)
+        };
+        Calibration {
+            epoch_ticks,
+            ticks_per_ns: rate,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic_enough() {
+        let a = now_ticks();
+        std::thread::sleep(Duration::from_millis(1));
+        let b = now_ticks();
+        assert!(b > a, "ticks did not advance: {a} -> {b}");
+    }
+
+    #[test]
+    fn calibration_roughly_matches_wall_clock() {
+        ensure_epoch();
+        let cal = calibration();
+        let t0 = now_ticks();
+        std::thread::sleep(Duration::from_millis(20));
+        let t1 = now_ticks();
+        let measured_ns = cal.delta_ns(t1 - t0) as f64;
+        // Within 25% of the 20ms sleep (sleep overshoots, never
+        // undershoots, so bound generously above).
+        assert!(
+            (15_000_000.0..80_000_000.0).contains(&measured_ns),
+            "20ms sleep measured as {measured_ns} ns"
+        );
+    }
+}

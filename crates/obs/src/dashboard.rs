@@ -1,0 +1,117 @@
+//! Plain-text dashboard rendering of a metric registry.
+//!
+//! One call produces a complete terminal frame: counters and gauges as
+//! a name/value table, histograms with count, mean, quantiles and an
+//! ASCII bucket sparkline. The `obs_dashboard` example redraws it on an
+//! interval for a live view; bench binaries print it once on exit.
+
+use crate::metrics::{bucket_upper, EntrySnapshot, HistSnapshot, Registry, HIST_BUCKETS};
+
+const BAR_GLYPHS: &[u8] = b" .:-=+*#%@";
+
+/// Render every metric in `reg` as a fixed-width text table.
+pub fn render(reg: &Registry) -> String {
+    let entries = reg.entries();
+    let mut out = String::new();
+    out.push_str(&format!("{:<44} {:>16}  {}\n", "metric", "value", "detail"));
+    out.push_str(&format!("{}\n", "-".repeat(96)));
+    for (name, snap) in entries {
+        match snap {
+            EntrySnapshot::Counter(v) => {
+                out.push_str(&format!("{name:<44} {v:>16}  counter\n"));
+            }
+            EntrySnapshot::Gauge(v) => {
+                out.push_str(&format!("{name:<44} {v:>16}  gauge\n"));
+            }
+            EntrySnapshot::Histogram(h) => {
+                out.push_str(&format!(
+                    "{:<44} {:>16}  mean={:.0} p50={} p99={} max={} |{}|\n",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max_bound(),
+                    sparkline(&h)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// ASCII sparkline over the occupied bucket range (log-bucketed x,
+/// linear-scaled glyph height).
+fn sparkline(h: &HistSnapshot) -> String {
+    let first = h.counts.iter().position(|c| *c != 0);
+    let last = h.counts.iter().rposition(|c| *c != 0);
+    let (Some(first), Some(last)) = (first, last) else {
+        return String::new();
+    };
+    let peak = h.counts[first..=last].iter().copied().max().unwrap_or(1);
+    let mut out = String::with_capacity(last - first + 1);
+    for c in &h.counts[first..=last] {
+        let level = if *c == 0 {
+            0
+        } else {
+            // Nonzero buckets always render at least the faintest glyph.
+            1 + (c * (BAR_GLYPHS.len() as u64 - 2)) / peak.max(1)
+        };
+        out.push(BAR_GLYPHS[(level as usize).min(BAR_GLYPHS.len() - 1)] as char);
+    }
+    out
+}
+
+/// Human label for a bucket's upper bound, for axis annotations.
+pub fn bucket_label(i: usize) -> String {
+    if i >= HIST_BUCKETS {
+        return "?".into();
+    }
+    let v = bucket_upper(i);
+    if v >= 1_000_000_000 {
+        format!("{}s", v / 1_000_000_000)
+    } else if v >= 1_000_000 {
+        format!("{}ms", v / 1_000_000)
+    } else if v >= 1_000 {
+        format!("{}us", v / 1_000)
+    } else {
+        format!("{v}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("dash.requests").add(1234);
+        reg.gauge("dash.depth").set(7);
+        let h = reg.histogram("dash.latency_ns");
+        for v in [100u64, 200, 5_000, 5_500, 1_000_000] {
+            h.record(v);
+        }
+        let frame = render(&reg);
+        assert!(frame.contains("dash.requests"));
+        assert!(frame.contains("1234"));
+        assert!(frame.contains("dash.depth"));
+        assert!(frame.contains("counter"));
+        assert!(frame.contains("gauge"));
+        assert!(frame.contains("mean="));
+        assert!(frame.contains('|'), "histogram sparkline present");
+    }
+
+    #[test]
+    fn sparkline_is_empty_for_empty_histogram() {
+        assert_eq!(sparkline(&HistSnapshot::default()), "");
+    }
+
+    #[test]
+    fn bucket_labels_scale_units() {
+        assert_eq!(bucket_label(0), "0ns");
+        assert_eq!(bucket_label(11), "2us"); // upper bound 2047 ns
+        assert_eq!(bucket_label(21), "2ms"); // upper bound 2097151 ns
+        assert!(bucket_label(64).ends_with('s'));
+    }
+}

@@ -1,0 +1,152 @@
+//! Folded-stack exporter for flamegraph tooling.
+//!
+//! Converts drained span events into the `a;b;c <value>` line format
+//! consumed by `flamegraph.pl` / `inferno`. Stacks are reconstructed
+//! per thread from interval containment (a span is a child of the
+//! nearest still-open span on its thread), and each line's value is
+//! the span's *self* time in nanoseconds — its duration minus the
+//! duration of its direct children — so a frame's total in the graph
+//! equals its wall time without double counting.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{Kind, SpanEvent};
+
+struct Frame {
+    label: &'static str,
+    end_ns: u64,
+    self_ns: u64,
+}
+
+/// Render span events as folded stacks, one `path value` line per
+/// unique stack with nonzero self time, lexicographically sorted.
+/// Instant events are ignored; threads are independent roots.
+pub fn folded_stacks(events: &[SpanEvent]) -> String {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut spans: Vec<&SpanEvent> = events
+            .iter()
+            .filter(|e| e.tid == tid && e.kind == Kind::Span)
+            .collect();
+        // Parents sort before their children: earlier start first,
+        // longer duration first on ties.
+        spans.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.dur_ns)));
+        let mut stack: Vec<Frame> = Vec::new();
+        for span in spans {
+            while let Some(top) = stack.last() {
+                if top.end_ns <= span.start_ns {
+                    pop_and_tally(&mut stack, &mut totals);
+                } else {
+                    break;
+                }
+            }
+            if let Some(parent) = stack.last_mut() {
+                parent.self_ns = parent.self_ns.saturating_sub(span.dur_ns);
+            }
+            stack.push(Frame {
+                label: span.label,
+                end_ns: span.start_ns.saturating_add(span.dur_ns),
+                self_ns: span.dur_ns,
+            });
+        }
+        while !stack.is_empty() {
+            pop_and_tally(&mut stack, &mut totals);
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in totals {
+        if ns == 0 {
+            continue;
+        }
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn pop_and_tally(stack: &mut Vec<Frame>, totals: &mut BTreeMap<String, u64>) {
+    let Some(frame) = stack.pop() else {
+        return;
+    };
+    let mut path = String::new();
+    for ancestor in stack.iter() {
+        path.push_str(ancestor.label);
+        path.push(';');
+    }
+    path.push_str(frame.label);
+    *totals.entry(path).or_insert(0) += frame.self_ns;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(label: &'static str, tid: u64, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            label,
+            tid,
+            start_ns,
+            dur_ns,
+            arg: 0,
+            kind: Kind::Span,
+        }
+    }
+
+    #[test]
+    fn nesting_and_self_time() {
+        // root: [0, 1000), child a: [100, 400), child b: [500, 600),
+        // grandchild under a: [200, 250).
+        let events = vec![
+            span("root", 1, 0, 1000),
+            span("a", 1, 100, 300),
+            span("g", 1, 200, 50),
+            span("b", 1, 500, 100),
+        ];
+        let folded = folded_stacks(&events);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"root 600"), "folded:\n{folded}");
+        assert!(lines.contains(&"root;a 250"), "folded:\n{folded}");
+        assert!(lines.contains(&"root;a;g 50"), "folded:\n{folded}");
+        assert!(lines.contains(&"root;b 100"), "folded:\n{folded}");
+        // Total self time equals the root's wall time.
+        let total: u64 = lines
+            .iter()
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|v| v.parse::<u64>().ok())
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn repeated_stacks_merge_and_threads_are_independent() {
+        let events = vec![
+            span("work", 1, 0, 10),
+            span("work", 1, 20, 30),
+            span("work", 2, 0, 5),
+            SpanEvent {
+                label: "marker",
+                tid: 1,
+                start_ns: 1,
+                dur_ns: 0,
+                arg: 0,
+                kind: Kind::Instant,
+            },
+        ];
+        let folded = folded_stacks(&events);
+        assert_eq!(folded, "work 45\n");
+    }
+
+    #[test]
+    fn siblings_after_close_do_not_nest() {
+        let events = vec![span("first", 1, 0, 100), span("second", 1, 100, 50)];
+        let folded = folded_stacks(&events);
+        assert!(folded.contains("first 100\n"));
+        assert!(folded.contains("second 50\n"));
+        assert!(!folded.contains(';'));
+    }
+}

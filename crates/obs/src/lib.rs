@@ -1,0 +1,144 @@
+//! # obs — zero-allocation self-instrumentation for the PAPI stack
+//!
+//! The paper asks how much *indirect* counter access (PCP) costs versus
+//! *direct* privileged reads; this crate lets the reproduction answer
+//! that question about itself. It provides, with no dependencies:
+//!
+//! * **Span/event tracing** ([`trace`]): thread-local ring buffers of
+//!   fixed-size `Copy` records, `rdtsc` timestamps, lock-free recording
+//!   and a serialized drain. Recording never allocates after a thread's
+//!   first record; budget ≤ 50 ns per span (checked by
+//!   `bench/src/bin/overhead.rs` in CI).
+//! * **Metrics** ([`metrics`]): counters, gauges and log2-bucket
+//!   histograms with mergeable snapshots, collected in an append-only
+//!   registry whose flattened view the PCP daemons serve as the
+//!   `pmcd.obs.*` PMNS subtree.
+//! * **Exporters**: Chrome `trace_event` JSON ([`chrome`]) for
+//!   `chrome://tracing`/Perfetto, folded stacks ([`flame`]) for
+//!   flamegraphs, and a plain-text dashboard ([`dashboard`]).
+//!
+//! ## Instrumenting code
+//!
+//! Call sites in workspace crates are compiled out unless that crate's
+//! `obs` cargo feature is enabled (`cargo xtask lint` enforces the
+//! gate):
+//!
+//! ```
+//! // In workspace crates these two lines sit under
+//! // #[cfg(feature = "obs")]; metrics are always on.
+//! let _span = obs::span!("memsim.run_single", 42);
+//! obs::instant!("memsim.dma");
+//! obs::counter!("memsim.mba.sector_txns").inc();
+//! # drop(_span);
+//! # drop(obs::trace::drain());
+//! ```
+//!
+//! Metrics are always compiled (they are plain atomics and feed the
+//! `pmcd.obs.*` subtree even in unprofiled builds); only the tracer
+//! call sites are feature-gated.
+
+pub mod chrome;
+pub mod clock;
+pub mod dashboard;
+pub mod flame;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global as registry, Counter, Gauge, HistSnapshot, Histogram, Registry};
+pub use trace::{drain, dropped_records, Kind, SpanEvent, SpanGuard};
+
+/// Open a span for the current scope: `let _span = obs::span!("label")`
+/// (optionally `span!("label", arg)` with a `u64` argument). The span
+/// closes — and its record is written — when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::trace::SpanGuard::new($label)
+    };
+    ($label:expr, $arg:expr) => {
+        $crate::trace::SpanGuard::with_arg($label, $arg as u64)
+    };
+}
+
+/// Record a point event: `obs::instant!("label")` or
+/// `obs::instant!("label", arg)`.
+#[macro_export]
+macro_rules! instant {
+    ($label:expr) => {
+        $crate::trace::instant_event($label, 0)
+    };
+    ($label:expr, $arg:expr) => {
+        $crate::trace::instant_event($label, $arg as u64)
+    };
+}
+
+/// Handle to the global counter `name`, registered on first use and
+/// cached in a per-call-site static thereafter.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __OBS_COUNTER: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(
+            __OBS_COUNTER.get_or_init(|| $crate::metrics::global().counter($name)),
+        )
+    }};
+}
+
+/// Handle to the global gauge `name` (cached like [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __OBS_GAUGE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(__OBS_GAUGE.get_or_init(|| $crate::metrics::global().gauge($name)))
+    }};
+}
+
+/// Handle to the global histogram `name` (cached like [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __OBS_HIST: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(
+            __OBS_HIST.get_or_init(|| $crate::metrics::global().histogram($name)),
+        )
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_register_and_record() {
+        crate::counter!("obs.lib.test_counter").add(5);
+        crate::counter!("obs.lib.test_counter").inc();
+        crate::gauge!("obs.lib.test_gauge").set(11);
+        crate::histogram!("obs.lib.test_hist").record(300);
+        let export = crate::registry().export();
+        let find = |n: &str| {
+            export
+                .iter()
+                .find(|e| e.name == n)
+                .unwrap_or_else(|| panic!("{n} missing from export"))
+                .value
+        };
+        assert_eq!(find("obs.lib.test_counter"), 6);
+        assert_eq!(find("obs.lib.test_gauge"), 11);
+        assert_eq!(find("obs.lib.test_hist.count"), 1);
+        assert_eq!(find("obs.lib.test_hist.sum"), 300);
+    }
+
+    #[test]
+    fn span_macro_forms_compile_and_record() {
+        {
+            let _a = crate::span!("obs.lib.span_plain");
+            let _b = crate::span!("obs.lib.span_arg", 9u32);
+            crate::instant!("obs.lib.instant_plain");
+            crate::instant!("obs.lib.instant_arg", 3u8);
+        }
+        // Events land in this thread's ring; draining them here would
+        // race other tests, so just confirm the ring exists.
+        assert!(crate::trace::ring_count() >= 1);
+    }
+}

@@ -1,0 +1,352 @@
+//! The zero-allocation span/event tracer.
+//!
+//! Every thread that records gets one fixed-capacity ring of `Copy`
+//! records (allocated once, on the thread's first record — that is the
+//! only allocation the tracer ever performs). Recording is a couple of
+//! `rdtsc` reads plus an SPSC ring push: no locks, no heap, no
+//! formatting. A full ring drops new records and counts the drops
+//! rather than blocking or reallocating.
+//!
+//! Draining ([`drain`]) walks every registered ring under a registry
+//! lock (drains are serialized; recording proceeds concurrently),
+//! converts raw ticks to nanoseconds via [`crate::clock::calibration`],
+//! and returns time-sorted [`SpanEvent`]s ready for the exporters.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock;
+
+/// Records per thread-local ring. Power of two so the ring index is a
+/// mask. 8192 × 48-byte records ≈ 384 KiB per recording thread.
+pub const RING_CAPACITY: usize = 8192;
+
+/// What a record represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A duration: entered at `start`, lasted `dur`.
+    Span,
+    /// A point event: `dur` is zero.
+    Instant,
+}
+
+/// One fixed-size trace record as stored in the ring (raw ticks).
+#[derive(Clone, Copy, Debug)]
+struct Record {
+    label: &'static str,
+    start_ticks: u64,
+    dur_ticks: u64,
+    arg: u64,
+    kind: Kind,
+}
+
+const EMPTY_RECORD: Record = Record {
+    label: "",
+    start_ticks: 0,
+    dur_ticks: 0,
+    arg: 0,
+    kind: Kind::Instant,
+};
+
+/// A drained trace record with calibrated nanosecond timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static label given at the recording site.
+    pub label: &'static str,
+    /// Tracer-assigned thread id (1-based, in thread registration order).
+    pub tid: u64,
+    /// Nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (zero for [`Kind::Instant`]).
+    pub dur_ns: u64,
+    /// Free-form argument supplied at the recording site.
+    pub arg: u64,
+    /// Span or instant.
+    pub kind: Kind,
+}
+
+/// SPSC ring: the owning thread is the only producer; drains (any
+/// thread) are serialized by the ring-registry lock.
+struct Ring {
+    tid: u64,
+    slots: Box<[UnsafeCell<Record>; RING_CAPACITY]>,
+    /// Records published by the producer.
+    head: AtomicU64,
+    /// Records consumed by the drainer.
+    tail: AtomicU64,
+    /// Records rejected because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot access is disciplined — the producer writes only slots in
+// [tail, tail+CAPACITY) before releasing `head`; the drainer reads only
+// slots in [tail, head) after acquiring `head`. The indices never alias.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new(tid: u64) -> Self {
+        Ring {
+            tid,
+            slots: Box::new([const { UnsafeCell::new(EMPTY_RECORD) }; RING_CAPACITY]),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side; called only from the owning thread.
+    #[inline]
+    fn push(&self, rec: Record) {
+        // relaxed-ok: head is written only by this thread (SPSC).
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= RING_CAPACITY as u64 {
+            // Full: drop-new keeps the oldest records, which preserves
+            // the enclosing-span structure exporters reconstruct.
+            // relaxed-ok: monotonic tally, read only at drain/report time.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = (head as usize) & (RING_CAPACITY - 1);
+        // SAFETY: slot `idx` is outside [tail, head), so no concurrent
+        // drain reads it; only this thread writes the ring.
+        unsafe {
+            *self.slots[idx].get() = rec;
+        }
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Drain side; callers hold the ring-registry lock.
+    fn drain_into(&self, out: &mut Vec<(u64, Record)>) {
+        let head = self.head.load(Ordering::Acquire);
+        // relaxed-ok: tail is written only under the registry lock the
+        // caller holds; the producer only Acquire-loads it.
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        while tail != head {
+            let idx = (tail as usize) & (RING_CAPACITY - 1);
+            // SAFETY: slots in [tail, head) were published by the
+            // Release store of `head` matched by the Acquire load above.
+            out.push((self.tid, unsafe { *self.slots[idx].get() }));
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.store(tail, Ordering::Release);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TL_RING: Arc<Ring> = {
+        clock::ensure_epoch();
+        // relaxed-ok: unique-id handout, no ordering with other data.
+        let ring = Arc::new(Ring::new(NEXT_TID.fetch_add(1, Ordering::Relaxed)));
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Record through the thread-local ring. `try_with` so records arriving
+/// during thread teardown are silently dropped instead of aborting.
+#[inline]
+fn record(rec: Record) {
+    let _ = TL_RING.try_with(|ring| ring.push(rec));
+}
+
+/// RAII span: captures the start timestamp on construction and pushes
+/// one complete record when dropped. Construction and drop each cost
+/// one timestamp read; the drop adds one ring push.
+#[must_use = "binding the guard to a name keeps the span open for the scope"]
+pub struct SpanGuard {
+    label: &'static str,
+    arg: u64,
+    start_ticks: u64,
+}
+
+impl SpanGuard {
+    /// Open a span with no argument.
+    #[inline]
+    pub fn new(label: &'static str) -> Self {
+        Self::with_arg(label, 0)
+    }
+
+    /// Open a span carrying a `u64` argument (shown in exporters).
+    #[inline]
+    pub fn with_arg(label: &'static str, arg: u64) -> Self {
+        SpanGuard {
+            label,
+            arg,
+            start_ticks: clock::now_ticks(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        let end = clock::now_ticks();
+        record(Record {
+            label: self.label,
+            start_ticks: self.start_ticks,
+            dur_ticks: end.saturating_sub(self.start_ticks),
+            arg: self.arg,
+            kind: Kind::Span,
+        });
+    }
+}
+
+/// Record a point event (used by the `instant!` macro).
+#[inline]
+pub fn instant_event(label: &'static str, arg: u64) {
+    record(Record {
+        label,
+        start_ticks: clock::now_ticks(),
+        dur_ticks: 0,
+        arg,
+        kind: Kind::Instant,
+    });
+}
+
+/// Drain every ring into time-sorted events with calibrated nanosecond
+/// timestamps. Concurrent recording continues unharmed; concurrent
+/// drains serialize on the registry lock. Records pushed while the
+/// drain runs may land in this drain or the next.
+pub fn drain() -> Vec<SpanEvent> {
+    let cal = clock::calibration();
+    let mut raw: Vec<(u64, Record)> = Vec::new();
+    {
+        let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+        for ring in rings.iter() {
+            ring.drain_into(&mut raw);
+        }
+    }
+    let mut out: Vec<SpanEvent> = raw
+        .into_iter()
+        .map(|(tid, rec)| SpanEvent {
+            label: rec.label,
+            tid,
+            start_ns: cal.ticks_to_ns(rec.start_ticks),
+            dur_ns: cal.delta_ns(rec.dur_ticks),
+            arg: rec.arg,
+            kind: rec.kind,
+        })
+        .collect();
+    out.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.dur_ns)));
+    out
+}
+
+/// Total records dropped (rings full) since startup, across all threads.
+pub fn dropped_records() -> u64 {
+    let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+    rings
+        .iter()
+        // relaxed-ok: monotonic tally read for reporting only.
+        .map(|r| r.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Number of threads that have recorded at least once.
+pub fn ring_count() -> usize {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rings and drain are process-global; tests that record and
+    /// then drain must not interleave or they steal each other's events.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn span_guard_records_duration() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _span = SpanGuard::with_arg("test.trace.outer", 7);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = SpanGuard::new("test.trace.inner");
+        }
+        instant_event("test.trace.marker", 42);
+        let events = drain();
+        let outer = events
+            .iter()
+            .find(|e| e.label == "test.trace.outer")
+            .expect("outer span drained");
+        assert_eq!(outer.kind, Kind::Span);
+        assert_eq!(outer.arg, 7);
+        assert!(outer.dur_ns >= 1_000_000, "outer dur {} ns", outer.dur_ns);
+        let inner = events
+            .iter()
+            .find(|e| e.label == "test.trace.inner")
+            .expect("inner span drained");
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.dur_ns <= outer.dur_ns);
+        let marker = events
+            .iter()
+            .find(|e| e.label == "test.trace.marker")
+            .expect("instant drained");
+        assert_eq!(marker.kind, Kind::Instant);
+        assert_eq!(marker.arg, 42);
+        assert_eq!(marker.dur_ns, 0);
+    }
+
+    #[test]
+    fn full_ring_drops_new_records_and_counts_them() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = drain();
+        let before = dropped_records();
+        for i in 0..(RING_CAPACITY as u64 + 500) {
+            instant_event("test.trace.flood", i);
+        }
+        let after = dropped_records();
+        assert!(
+            after - before >= 400,
+            "expected ≥400 new drops, got {}",
+            after - before
+        );
+        let events = drain();
+        let flood: Vec<_> = events
+            .iter()
+            .filter(|e| e.label == "test.trace.flood")
+            .collect();
+        assert!(flood.len() <= RING_CAPACITY);
+        // Drop-new policy: the *oldest* records survive.
+        assert!(flood.iter().any(|e| e.arg == 0));
+    }
+
+    #[test]
+    fn cross_thread_records_are_all_drained() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = drain();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        instant_event("test.trace.mt", t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("join recorder");
+        }
+        let events = drain();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.label == "test.trace.mt")
+            .collect();
+        assert_eq!(mine.len(), 400);
+        // Each recording thread got its own tid lane.
+        let tids: std::collections::BTreeSet<u64> = mine.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the log2-bucket histogram (ISSUE 3 satellite):
+//! merging per-thread snapshots must equal recording into one
+//! histogram, and the bucket bounds must be monotone and exhaustive
+//! over all of `u64`.
+
+use proptest::prelude::*;
+
+use obs::metrics::{
+    bucket_index, bucket_lower, bucket_upper, HistSnapshot, Histogram, HIST_BUCKETS,
+};
+
+/// Values spread across the full u64 range, not just small ints.
+fn sample_value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64).prop_map(|(raw, shift)| raw >> shift)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a sample stream across N "thread" histograms and
+    /// merging the snapshots yields exactly the single-histogram state.
+    #[test]
+    fn merge_equals_single_recording(
+        samples in prop::collection::vec(sample_value(), 0..200),
+        nthreads in 1usize..6,
+    ) {
+        let single = Histogram::new();
+        let shards: Vec<Histogram> = (0..nthreads).map(|_| Histogram::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            single.record(v);
+            shards[i % nthreads].record(v);
+        }
+        let mut merged = HistSnapshot::default();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+    }
+
+    /// Merge is order-independent (it is a per-bucket sum).
+    #[test]
+    fn merge_commutes(
+        a in prop::collection::vec(sample_value(), 0..100),
+        b in prop::collection::vec(sample_value(), 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let (sa, sb) = (ha.snapshot(), hb.snapshot());
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Every u64 lands in exactly one bucket whose bounds contain it.
+    #[test]
+    fn buckets_are_exhaustive(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+        prop_assert!(v <= bucket_upper(i), "{v} > upper({i})");
+    }
+
+    /// Bucket index is monotone in the value.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// `count_below_pow2` agrees with counting the raw samples.
+    #[test]
+    fn cumulative_pow2_counts_match_raw(
+        samples in prop::collection::vec(sample_value(), 0..200),
+        k in 0u32..66,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples { h.record(v); }
+        let snap = h.snapshot();
+        let threshold = if k >= 64 { u128::from(u64::MAX) + 1 } else { 1u128 << k };
+        let expected = samples.iter().filter(|&&v| u128::from(v) < threshold).count() as u64;
+        prop_assert_eq!(snap.count_below_pow2(k), expected);
+    }
+}
+
+/// The bucket boundary chain is gapless and strictly increasing:
+/// `upper(i) + 1 == lower(i + 1)` all the way up to `u64::MAX`.
+#[test]
+fn bucket_bounds_chain_without_gaps() {
+    assert_eq!(bucket_lower(0), 0);
+    for i in 0..HIST_BUCKETS - 1 {
+        assert_eq!(
+            bucket_upper(i).wrapping_add(1),
+            bucket_lower(i + 1),
+            "gap or overlap between bucket {i} and {}",
+            i + 1
+        );
+        assert!(bucket_upper(i) < bucket_upper(i + 1));
+    }
+    assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+}

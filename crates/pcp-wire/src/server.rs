@@ -33,21 +33,25 @@ use std::time::{Duration, Instant};
 use p9_memsim::machine::SocketShared;
 use p9_memsim::{Direction, PrivilegeError, PrivilegeToken};
 use pcp_sim::pmns::{InstanceId, MetricId, MetricSemantics, Pmns};
+use pcp_sim::selfmetrics::{self, LATENCY_BUCKETS};
 
 use crate::pdu::{read_pdu, write_pdu, ErrorCode, Pdu, WireError, PROTOCOL_VERSION};
 use crate::pool::{BoundedQueue, Pop, PushError};
 
 /// Base of the reserved id range for the server's self-metrics. The PMNS
 /// table indexes from zero, so anything at or above this base is a
-/// `pmcd.*` operational metric.
-pub const SELF_METRIC_BASE: u32 = 0x4000_0000;
+/// `pmcd.*` operational metric. (Shared with the in-process daemon.)
+pub const SELF_METRIC_BASE: u32 = selfmetrics::SELF_METRIC_BASE;
 
-/// Fetch-latency histogram bucket upper bounds, nanoseconds. The last
-/// bucket is implicit (+inf).
-const LATENCY_BUCKETS_NS: [u64; 5] = [10_000, 50_000, 100_000, 500_000, 1_000_000];
+/// Base of the reserved id range for the `pmcd.obs.*` export of the
+/// process-wide obs metric registry.
+pub const OBS_METRIC_BASE: u32 = selfmetrics::OBS_METRIC_BASE;
 
-/// Self-metric table: name, units, semantics.
-const SELF_METRICS: [(&str, &str, MetricSemantics); 13] = [
+/// Self-metric table: name, units, semantics. The fetch-latency `lt_*`
+/// entries are cumulative counts below power-of-two nanosecond
+/// thresholds, read out of the log2 histogram
+/// (`pcp_sim::selfmetrics::LATENCY_BUCKETS` — a test pins agreement).
+const SELF_METRICS: [(&str, &str, MetricSemantics); 15] = [
     ("pmcd.pdu.in", "count", MetricSemantics::Counter),
     ("pmcd.pdu.out", "count", MetricSemantics::Counter),
     ("pmcd.pdu.error", "count", MetricSemantics::Counter),
@@ -61,32 +65,42 @@ const SELF_METRICS: [(&str, &str, MetricSemantics); 13] = [
         MetricSemantics::Counter,
     ),
     (
-        "pmcd.fetch.latency_seconds.le_10us",
+        "pmcd.fetch.latency_ns.lt_1024",
         "count",
         MetricSemantics::Counter,
     ),
     (
-        "pmcd.fetch.latency_seconds.le_50us",
+        "pmcd.fetch.latency_ns.lt_16384",
         "count",
         MetricSemantics::Counter,
     ),
     (
-        "pmcd.fetch.latency_seconds.le_100us",
+        "pmcd.fetch.latency_ns.lt_131072",
         "count",
         MetricSemantics::Counter,
     ),
     (
-        "pmcd.fetch.latency_seconds.le_500us",
+        "pmcd.fetch.latency_ns.lt_1048576",
         "count",
         MetricSemantics::Counter,
     ),
     (
-        "pmcd.fetch.latency_seconds.le_1ms",
+        "pmcd.fetch.latency_ns.lt_16777216",
         "count",
         MetricSemantics::Counter,
     ),
+    ("pmcd.queue.depth", "count", MetricSemantics::Instant),
+    ("pmcd.queue.shed", "count", MetricSemantics::Counter),
 ];
 // `pmcd.fetch.count` doubles as the +inf bucket: every fetch lands in it.
+
+/// [`SELF_METRICS`] index of the first latency bucket.
+const LATENCY_BUCKET_IDX: usize = 8;
+/// [`SELF_METRICS`] index of `pmcd.queue.depth` (answered from the
+/// connection queue, not from [`ServerStats`]).
+const QUEUE_DEPTH_IDX: usize = 13;
+/// [`SELF_METRICS`] index of `pmcd.queue.shed`.
+const QUEUE_SHED_IDX: usize = 14;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -135,10 +149,9 @@ struct ServerStats {
     clients_current: AtomicU64,
     clients_total: AtomicU64,
     clients_rejected: AtomicU64,
-    fetch_count: AtomicU64,
-    fetch_ns_sum: AtomicU64,
-    /// Non-cumulative bucket counts; cumulated on read.
-    latency_buckets: [AtomicU64; 5],
+    /// Fetch service times, log2-bucketed. Count and sum are read from
+    /// the histogram — there are no separate counters to drift from it.
+    fetch_hist: obs::Histogram,
 }
 
 /// Increment one operational counter, returning the previous value.
@@ -158,17 +171,14 @@ fn peek(counter: &AtomicU64) -> u64 {
 
 impl ServerStats {
     fn record_fetch(&self, elapsed: Duration) {
-        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
-        bump(&self.fetch_count);
-        // relaxed-ok: statistic accumulation, same as bump().
-        self.fetch_ns_sum.fetch_add(ns, Ordering::Relaxed);
-        if let Some(b) = LATENCY_BUCKETS_NS.iter().position(|&ub| ns <= ub) {
-            bump(&self.latency_buckets[b]);
-        }
+        self.fetch_hist
+            .record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
     }
 
     /// Value of self-metric `idx` (index into [`SELF_METRICS`]).
-    /// Histogram buckets read cumulatively, Prometheus-style.
+    /// Latency buckets read cumulatively from the log2 histogram.
+    /// The queue metrics (13/14) are answered in `fetch_one`, which can
+    /// see the connection queue.
     fn value(&self, idx: usize) -> Option<u64> {
         Some(match idx {
             0 => peek(&self.pdu_in),
@@ -177,14 +187,18 @@ impl ServerStats {
             3 => peek(&self.clients_current),
             4 => peek(&self.clients_total),
             5 => peek(&self.clients_rejected),
-            6 => peek(&self.fetch_count),
-            7 => peek(&self.fetch_ns_sum),
-            8..=12 => self.latency_buckets[..=idx - 8].iter().map(peek).sum(),
+            6 => self.fetch_hist.snapshot().count(),
+            7 => self.fetch_hist.snapshot().sum,
+            8..=12 => self
+                .fetch_hist
+                .snapshot()
+                .count_below_pow2(LATENCY_BUCKETS[idx - LATENCY_BUCKET_IDX].0),
             _ => return None,
         })
     }
 
     fn snapshot(&self) -> StatsSnapshot {
+        let fetch_latency = self.fetch_hist.snapshot();
         StatsSnapshot {
             pdu_in: peek(&self.pdu_in),
             pdu_out: peek(&self.pdu_out),
@@ -192,9 +206,9 @@ impl ServerStats {
             clients_current: peek(&self.clients_current),
             clients_total: peek(&self.clients_total),
             clients_rejected: peek(&self.clients_rejected),
-            fetch_count: peek(&self.fetch_count),
-            fetch_latency_ns_sum: peek(&self.fetch_ns_sum),
-            fetch_latency_buckets: std::array::from_fn(|i| peek(&self.latency_buckets[i])),
+            fetch_count: fetch_latency.count(),
+            fetch_latency_ns_sum: fetch_latency.sum,
+            fetch_latency,
         }
     }
 }
@@ -210,9 +224,9 @@ pub struct StatsSnapshot {
     pub clients_rejected: u64,
     pub fetch_count: u64,
     pub fetch_latency_ns_sum: u64,
-    /// Non-cumulative counts for the ≤10 µs/50 µs/100 µs/500 µs/1 ms
-    /// buckets; fetches above 1 ms appear only in `fetch_count`.
-    pub fetch_latency_buckets: [u64; 5],
+    /// Full log2-bucket fetch service-time distribution. Mergeable
+    /// across servers; quantiles via [`obs::HistSnapshot::quantile`].
+    pub fetch_latency: obs::HistSnapshot,
 }
 
 /// Everything a worker needs to answer requests.
@@ -221,6 +235,9 @@ struct Shared {
     sockets: Vec<Arc<SocketShared>>,
     config: WireConfig,
     stats: ServerStats,
+    /// The accept queue, visible to workers so `pmcd.queue.depth` can be
+    /// fetched like any other metric.
+    queue: Arc<BoundedQueue<TcpStream>>,
     shutdown: AtomicBool,
 }
 
@@ -292,14 +309,15 @@ impl PmcdServer {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let queue = Arc::new(BoundedQueue::new(config.pending));
         let shared = Arc::new(Shared {
             pmns,
             sockets,
             config: config.clone(),
             stats: ServerStats::default(),
+            queue: Arc::clone(&queue),
             shutdown: AtomicBool::new(false),
         });
-        let queue = Arc::new(BoundedQueue::new(config.pending));
 
         let mut server = PmcdServer {
             shared: Arc::clone(&shared),
@@ -356,6 +374,12 @@ impl PmcdServer {
         self.shared.stats.snapshot()
     }
 
+    /// Connections currently waiting for a free worker (also fetchable
+    /// by any client as `pmcd.queue.depth`).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Stop accepting, finish in-flight requests, join every thread.
     /// Already-queued connections are still served (graceful drain).
     /// Idempotent; also runs on drop.
@@ -398,6 +422,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue: Arc<BoundedQue
 /// Shed load at the door: tell the client we are saturated and close.
 fn reject_busy(shared: &Shared, mut stream: TcpStream) {
     bump(&shared.stats.clients_rejected);
+    #[cfg(feature = "obs")]
+    obs::instant!("pmcd.shed", shared.queue.len() as u64);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let frame = Pdu::Error {
         code: ErrorCode::Busy,
@@ -428,6 +454,8 @@ fn serve_client(shared: &Shared, stream: TcpStream) {
     let stats = &shared.stats;
     bump(&stats.clients_current);
     let client_id = bump(&stats.clients_total) + 1;
+    #[cfg(feature = "obs")]
+    let _client_span = obs::span!("pmcd.client", client_id);
     serve_client_inner(shared, stream, client_id);
     // relaxed-ok: statistic decrement, pairs with the bump above.
     stats.clients_current.fetch_sub(1, Ordering::Relaxed);
@@ -484,6 +512,11 @@ fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
             }
         };
         bump(&stats.pdu_in);
+        // One span per served request: read to reply written. Dropped at
+        // the bottom of this loop iteration, before the next blocking
+        // read (which would otherwise dominate every trace).
+        #[cfg(feature = "obs")]
+        let _request_span = obs::span!("pmcd.request", client_id);
 
         // The CREDS exchange must come first and exactly once.
         let reply = if !handshaken {
@@ -541,6 +574,8 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
                 Pdu::LookupResult {
                     id: SELF_METRIC_BASE + idx as u32,
                 }
+            } else if let Some(id) = selfmetrics::obs_lookup(&name) {
+                Pdu::LookupResult { id: id.0 }
             } else {
                 Pdu::Error {
                     code: ErrorCode::NoSuchMetric,
@@ -549,7 +584,19 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
             }
         }
         Pdu::Desc { id } => {
-            if id >= SELF_METRIC_BASE {
+            if id >= OBS_METRIC_BASE {
+                match selfmetrics::obs_desc(MetricId(id)) {
+                    Some(desc) => Pdu::DescResult {
+                        id,
+                        semantics: encode_semantics(desc.semantics),
+                        channel: 0,
+                        direction: 0,
+                        units: desc.units.into(),
+                        name: desc.name,
+                    },
+                    None => bad_metric(id),
+                }
+            } else if id >= SELF_METRIC_BASE {
                 let idx = (id - SELF_METRIC_BASE) as usize;
                 match SELF_METRICS.get(idx) {
                     Some(&(name, units, semantics)) => Pdu::DescResult {
@@ -588,6 +635,7 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
                     .filter(|(n, _, _)| prefix.is_empty() || n.starts_with(prefix.as_str()))
                     .map(|(n, _, _)| (*n).to_owned()),
             );
+            names.extend(selfmetrics::obs_children(&prefix));
             Pdu::ChildrenResult { names }
         }
         Pdu::Instance => Pdu::InstanceResult {
@@ -632,8 +680,15 @@ fn bad_metric(id: u32) -> Pdu {
 /// socket's publisher CPU, other valid CPUs read zero, invalid instances
 /// read `None`. Self-metrics accept any instance.
 fn fetch_one(shared: &Shared, id: u32, inst: u32) -> Option<u64> {
+    if id >= OBS_METRIC_BASE {
+        return selfmetrics::obs_value(MetricId(id));
+    }
     if id >= SELF_METRIC_BASE {
-        return shared.stats.value((id - SELF_METRIC_BASE) as usize);
+        return match (id - SELF_METRIC_BASE) as usize {
+            QUEUE_DEPTH_IDX => Some(shared.queue.len() as u64),
+            QUEUE_SHED_IDX => Some(peek(&shared.stats.clients_rejected)),
+            idx => shared.stats.value(idx),
+        };
     }
     let pmns = &shared.pmns;
     let desc = pmns.desc(MetricId(id))?;
@@ -738,22 +793,37 @@ mod tests {
         // ordering; lock it down.
         assert_eq!(SELF_METRICS[0].0, "pmcd.pdu.in");
         assert_eq!(SELF_METRICS[6].0, "pmcd.fetch.count");
-        assert_eq!(SELF_METRICS[8].0, "pmcd.fetch.latency_seconds.le_10us");
-        assert_eq!(SELF_METRICS[12].0, "pmcd.fetch.latency_seconds.le_1ms");
-        assert_eq!(SELF_METRICS.len(), 13);
+        assert_eq!(
+            SELF_METRICS[LATENCY_BUCKET_IDX].0,
+            "pmcd.fetch.latency_ns.lt_1024"
+        );
+        assert_eq!(SELF_METRICS[12].0, "pmcd.fetch.latency_ns.lt_16777216");
+        assert_eq!(SELF_METRICS[QUEUE_DEPTH_IDX].0, "pmcd.queue.depth");
+        assert_eq!(SELF_METRICS[QUEUE_SHED_IDX].0, "pmcd.queue.shed");
+        assert_eq!(SELF_METRICS.len(), 15);
+        // The wire table's bucket entries are the shared spec's, in order.
+        for (i, (_, name)) in LATENCY_BUCKETS.iter().enumerate() {
+            assert_eq!(SELF_METRICS[LATENCY_BUCKET_IDX + i].0, *name);
+        }
     }
 
     #[test]
     fn latency_histogram_buckets_cumulate() {
         let stats = ServerStats::default();
-        stats.record_fetch(Duration::from_nanos(5_000)); // <= 10us
-        stats.record_fetch(Duration::from_nanos(60_000)); // <= 100us
-        stats.record_fetch(Duration::from_millis(5)); // above all buckets
-        assert_eq!(stats.value(8), Some(1)); // le_10us
-        assert_eq!(stats.value(9), Some(1)); // le_50us (cumulative)
-        assert_eq!(stats.value(10), Some(2)); // le_100us
-        assert_eq!(stats.value(12), Some(2)); // le_1ms
+        stats.record_fetch(Duration::from_nanos(900)); // < 1024
+        stats.record_fetch(Duration::from_nanos(60_000)); // < 131072
+        stats.record_fetch(Duration::from_millis(100)); // above all buckets
+        assert_eq!(stats.value(8), Some(1)); // lt_1024
+        assert_eq!(stats.value(9), Some(1)); // lt_16384 (cumulative)
+        assert_eq!(stats.value(10), Some(2)); // lt_131072
+        assert_eq!(stats.value(12), Some(2)); // lt_16777216
         assert_eq!(stats.value(6), Some(3)); // fetch.count = +inf
+        assert_eq!(stats.value(7), Some(900 + 60_000 + 100_000_000));
         assert_eq!(stats.value(99), None);
+        // The snapshot's distribution agrees with the scalar export.
+        let snap = stats.snapshot();
+        assert_eq!(snap.fetch_count, 3);
+        assert_eq!(snap.fetch_latency.count(), 3);
+        assert_eq!(snap.fetch_latency.count_below_pow2(17), 2);
     }
 }

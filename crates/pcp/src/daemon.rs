@@ -21,8 +21,10 @@
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::pmns::{InstanceId, MetricDesc, MetricId, Pmns};
+use crate::selfmetrics::{self, DaemonStats, OBS_METRIC_BASE, SELF_METRIC_BASE};
 use p9_memsim::machine::SocketShared;
 use p9_memsim::{PrivilegeError, PrivilegeToken};
 
@@ -138,6 +140,7 @@ impl From<PrivilegeError> for PmcdError {
 /// The daemon itself (owns the service thread).
 pub struct Pmcd {
     handle: PmcdHandle,
+    stats: Arc<DaemonStats>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -155,12 +158,18 @@ impl Pmcd {
         config.validate();
         let (tx, rx) = channel::<Request>();
         let cfg = config.clone();
+        // Self-metrics exist from construction, not lazily on first
+        // fetch: the very first sample of a pmlogger schedule already
+        // resolves and records the `pmcd.*` columns.
+        let stats = Arc::new(DaemonStats::new());
+        let thread_stats = Arc::clone(&stats);
         let thread = std::thread::Builder::new()
             .name("pmcd".into())
-            .spawn(move || service_loop(pmns, sockets, cfg, rx))
+            .spawn(move || service_loop(pmns, sockets, cfg, thread_stats, rx))
             .map_err(PmcdError::Spawn)?;
         Ok(Pmcd {
             handle: PmcdHandle { tx, config },
+            stats,
             thread: Some(thread),
         })
     }
@@ -181,6 +190,12 @@ impl Pmcd {
     pub fn handle(&self) -> PmcdHandle {
         self.handle.clone()
     }
+
+    /// The daemon's own operational counters (also fetchable by any
+    /// client under `pmcd.*`).
+    pub fn stats(&self) -> &DaemonStats {
+        &self.stats
+    }
 }
 
 impl Drop for Pmcd {
@@ -196,30 +211,56 @@ fn service_loop(
     pmns: Pmns,
     sockets: Vec<Arc<SocketShared>>,
     config: PmcdConfig,
+    stats: Arc<DaemonStats>,
     rx: Receiver<Request>,
 ) {
     while let Ok(req) = rx.recv() {
         match req {
             Request::LookupName { name, reply } => {
-                let _ = reply.send(pmns.lookup(&name));
+                stats.record_request();
+                let found = pmns
+                    .lookup(&name)
+                    .or_else(|| DaemonStats::lookup(&name))
+                    .or_else(|| selfmetrics::obs_lookup(&name));
+                let _ = reply.send(found);
+                stats.record_reply();
             }
             Request::Desc { id, reply } => {
-                let _ = reply.send(pmns.desc(id).cloned());
+                stats.record_request();
+                let desc = if id.0 >= OBS_METRIC_BASE {
+                    selfmetrics::obs_desc(id)
+                } else if id.0 >= SELF_METRIC_BASE {
+                    DaemonStats::desc(id)
+                } else {
+                    pmns.desc(id).cloned()
+                };
+                let _ = reply.send(desc);
+                stats.record_reply();
             }
             Request::Children { prefix, reply } => {
-                let names = pmns
+                stats.record_request();
+                let mut names: Vec<String> = pmns
                     .children(&prefix)
                     .into_iter()
                     .map(str::to_owned)
                     .collect();
+                names.extend(DaemonStats::names_under(&prefix));
+                names.extend(selfmetrics::obs_children(&prefix));
                 let _ = reply.send(names);
+                stats.record_reply();
             }
             Request::Fetch { requests, reply } => {
+                stats.record_request();
+                #[cfg(feature = "obs")]
+                let _span = obs::span!("pmcd.fetch", requests.len() as u64);
+                let start = Instant::now();
                 let values = requests
                     .iter()
-                    .map(|&(id, inst)| fetch_one(&pmns, &sockets, &config, id, inst))
+                    .map(|&(id, inst)| fetch_one(&pmns, &sockets, &config, &stats, id, inst))
                     .collect();
+                stats.record_fetch(start.elapsed());
                 let _ = reply.send(values);
+                stats.record_reply();
             }
             Request::Shutdown => break,
         }
@@ -230,9 +271,18 @@ fn fetch_one(
     pmns: &Pmns,
     sockets: &[Arc<SocketShared>],
     config: &PmcdConfig,
+    stats: &DaemonStats,
     id: MetricId,
     inst: InstanceId,
 ) -> Option<u64> {
+    // Self-metrics and the obs-registry export are instance-less: any
+    // valid instance reads the same value.
+    if id.0 >= OBS_METRIC_BASE {
+        return selfmetrics::obs_value(id);
+    }
+    if id.0 >= SELF_METRIC_BASE {
+        return stats.value((id.0 - SELF_METRIC_BASE) as usize);
+    }
     let desc = pmns.desc(id)?;
     if !pmns.valid_instance(inst) {
         return None;
@@ -349,6 +399,62 @@ mod tests {
     fn shutdown_on_drop_joins_thread() {
         let (_m, d) = setup();
         drop(d); // must not hang
+    }
+
+    /// Self-metrics are registered at daemon construction, so a logger's
+    /// *first* sample already resolves and records the `pmcd.*` columns
+    /// (previously they would only exist after the first client fetch).
+    #[test]
+    fn self_metrics_exist_from_construction_and_land_in_first_archive_sample() {
+        use crate::archive::PmLogger;
+        use crate::client::PcpContext;
+
+        let (m, d) = setup();
+        let ctx = PcpContext::connect(d.handle(), None);
+        // Resolvable before any fetch has ever happened.
+        let fetches = ctx.pm_lookup_name("pmcd.fetch.count").expect("lookup");
+        assert!(fetches.0 >= SELF_METRIC_BASE);
+        let desc = ctx.pm_get_desc(fetches).expect("desc");
+        assert_eq!(desc.name, "pmcd.fetch.count");
+        assert!(ctx
+            .pm_get_children("pmcd")
+            .expect("children")
+            .iter()
+            .any(|n| n == "pmcd.fetch.latency_ns.lt_1048576"));
+
+        let pmns = Pmns::for_machine(m.arch());
+        let nest = pmns
+            .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+            .unwrap();
+        let inst = pmns.instance_of_socket(0);
+        let ctx2 = PcpContext::connect(d.handle(), None);
+        let mut logger = PmLogger::new(ctx2, vec![(nest, inst), (fetches, InstanceId(0))], 1.0);
+        assert!(logger.poll(0.0).expect("first sample"));
+        assert!(logger.poll(1.0).expect("second sample"));
+        let archive = logger.close();
+        // First sample contains the column (value 0: a fetch reports the
+        // fetches completed before it); the second has counted the first.
+        assert_eq!(archive.records()[0].values[1], 0);
+        assert_eq!(archive.records()[1].values[1], 1);
+    }
+
+    /// The global obs registry is fetchable through the in-process
+    /// daemon under `pmcd.obs.*`.
+    #[test]
+    fn obs_registry_fetchable_through_daemon() {
+        let (_m, d) = setup();
+        obs::registry().counter("daemon.test_counter").add(5);
+        let (tx, rx) = oneshot();
+        d.handle()
+            .sender()
+            .send(Request::LookupName {
+                name: "pmcd.obs.daemon.test_counter".into(),
+                reply: tx,
+            })
+            .unwrap();
+        let id = rx.recv().unwrap().expect("obs metric resolves");
+        assert!(id.0 >= OBS_METRIC_BASE);
+        assert_eq!(roundtrip_fetch(&d, id, InstanceId(0)), Some(5));
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub mod archive;
 pub mod client;
 pub mod daemon;
 pub mod pmns;
+pub mod selfmetrics;
 
 pub use archive::{Archive, ArchiveRecord, PmLogger};
 pub use client::{PcpContext, PcpError, PmApi};
 pub use daemon::{Pmcd, PmcdConfig, PmcdError, PmcdHandle};
 pub use pmns::{InstanceId, MetricDesc, MetricId, MetricSemantics, Pmns};
+pub use selfmetrics::{DaemonStats, OBS_METRIC_BASE, SELF_METRIC_BASE};

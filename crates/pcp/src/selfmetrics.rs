@@ -1,0 +1,286 @@
+//! `pmcd.*` self-metrics and the `pmcd.obs.*` registry export.
+//!
+//! Both daemons — the in-process [`crate::daemon::Pmcd`] and the
+//! networked `pcp_wire::PmcdServer` — measure themselves with the same
+//! `obs` primitives and serve the results through the same PMNS paths
+//! as the hardware metrics, in two reserved id ranges:
+//!
+//! * [`SELF_METRIC_BASE`] — per-daemon operational metrics
+//!   (`pmcd.pdu.*`, `pmcd.fetch.*`, and on the wire server
+//!   `pmcd.client.*` / `pmcd.queue.*`). Self-metrics exist from daemon
+//!   construction: a client can resolve and fetch them before the first
+//!   value fetch ever happens, so the first archive sample of a
+//!   `pmlogger` schedule already contains the columns.
+//! * [`OBS_METRIC_BASE`] — the *process-wide* [`obs::Registry`]
+//!   flattened under `pmcd.obs.`. Whatever any crate in the stack
+//!   counts (memsim MBA accounting, PDU codec, kernel measurement
+//!   loops) becomes fetchable over the wire like any other metric.
+//!   The registry is append-only and each entry flattens to a fixed
+//!   number of scalars, so `OBS_METRIC_BASE + flattened index` is a
+//!   stable metric id.
+//!
+//! The fetch-latency histogram is an [`obs::Histogram`] (log2 buckets);
+//! the exported `lt_*` metrics are cumulative sample counts below
+//! power-of-two nanosecond thresholds, named by the exact threshold.
+
+use std::time::Duration;
+
+use crate::pmns::{MetricDesc, MetricId, MetricSemantics};
+use p9_memsim::Direction;
+
+/// Base of the reserved id range for per-daemon self-metrics.
+pub const SELF_METRIC_BASE: u32 = 0x4000_0000;
+
+/// Base of the reserved id range for the `pmcd.obs.*` registry export.
+pub const OBS_METRIC_BASE: u32 = 0x4100_0000;
+
+/// Name prefix under which the global obs registry is exported.
+pub const OBS_PREFIX: &str = "pmcd.obs.";
+
+/// Cumulative fetch-latency buckets derived from the log2 histogram:
+/// `(k, name)` exports the number of fetches that took `< 2^k` ns.
+pub const LATENCY_BUCKETS: [(u32, &str); 5] = [
+    (10, "pmcd.fetch.latency_ns.lt_1024"),
+    (14, "pmcd.fetch.latency_ns.lt_16384"),
+    (17, "pmcd.fetch.latency_ns.lt_131072"),
+    (20, "pmcd.fetch.latency_ns.lt_1048576"),
+    (24, "pmcd.fetch.latency_ns.lt_16777216"),
+];
+
+/// Self-metric table of the in-process daemon: name, units, semantics.
+/// Metric id = [`SELF_METRIC_BASE`] + index. (The wire server has a
+/// superset table of its own with the same leading layout.)
+pub const DAEMON_SELF_METRICS: [(&str, &str, MetricSemantics); 9] = [
+    ("pmcd.pdu.in", "count", MetricSemantics::Counter),
+    ("pmcd.pdu.out", "count", MetricSemantics::Counter),
+    ("pmcd.fetch.count", "count", MetricSemantics::Counter),
+    (
+        "pmcd.fetch.latency_ns.sum",
+        "nanosecond",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_ns.lt_1024",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_ns.lt_16384",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_ns.lt_131072",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_ns.lt_1048576",
+        "count",
+        MetricSemantics::Counter,
+    ),
+    (
+        "pmcd.fetch.latency_ns.lt_16777216",
+        "count",
+        MetricSemantics::Counter,
+    ),
+];
+
+/// Build a descriptor for a self/obs metric (channel and direction are
+/// meaningless for operational metrics; they read as channel 0 / Read,
+/// matching the wire encoding).
+pub fn self_desc(
+    id: MetricId,
+    name: &str,
+    units: &'static str,
+    semantics: MetricSemantics,
+) -> MetricDesc {
+    MetricDesc {
+        id,
+        name: name.to_owned(),
+        semantics,
+        units,
+        channel: 0,
+        direction: Direction::Read,
+    }
+}
+
+/// Operational counters of the in-process daemon, created at
+/// construction (before any client exists).
+#[derive(Default)]
+pub struct DaemonStats {
+    pdu_in: obs::Counter,
+    pdu_out: obs::Counter,
+    fetch_hist: obs::Histogram,
+}
+
+impl DaemonStats {
+    /// Fresh stats, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one request received (any kind).
+    pub fn record_request(&self) {
+        self.pdu_in.inc();
+    }
+
+    /// Count one reply sent.
+    pub fn record_reply(&self) {
+        self.pdu_out.inc();
+    }
+
+    /// Record one completed fetch and its service time. The in-flight
+    /// fetch is *not* included in the values it returns — a fetch of
+    /// `pmcd.fetch.count` reports the fetches completed before it.
+    pub fn record_fetch(&self, elapsed: Duration) {
+        self.fetch_hist
+            .record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Snapshot of the fetch service-time histogram.
+    pub fn fetch_histogram(&self) -> obs::HistSnapshot {
+        self.fetch_hist.snapshot()
+    }
+
+    /// Resolve a daemon self-metric name.
+    pub fn lookup(name: &str) -> Option<MetricId> {
+        DAEMON_SELF_METRICS
+            .iter()
+            .position(|(n, _, _)| *n == name)
+            .map(|idx| MetricId(SELF_METRIC_BASE + idx as u32))
+    }
+
+    /// Descriptor for a daemon self-metric id.
+    pub fn desc(id: MetricId) -> Option<MetricDesc> {
+        let idx = id.0.checked_sub(SELF_METRIC_BASE)? as usize;
+        let &(name, units, semantics) = DAEMON_SELF_METRICS.get(idx)?;
+        Some(self_desc(id, name, units, semantics))
+    }
+
+    /// Value of self-metric `idx` (index into [`DAEMON_SELF_METRICS`]).
+    /// Latency buckets read cumulatively from the log2 histogram.
+    pub fn value(&self, idx: usize) -> Option<u64> {
+        Some(match idx {
+            0 => self.pdu_in.get(),
+            1 => self.pdu_out.get(),
+            2 => self.fetch_hist.snapshot().count(),
+            3 => self.fetch_hist.snapshot().sum,
+            4..=8 => self
+                .fetch_hist
+                .snapshot()
+                .count_below_pow2(LATENCY_BUCKETS[idx - 4].0),
+            _ => return None,
+        })
+    }
+
+    /// Daemon self-metric names matching a dotted prefix.
+    pub fn names_under(prefix: &str) -> Vec<String> {
+        DAEMON_SELF_METRICS
+            .iter()
+            .filter(|(n, _, _)| prefix.is_empty() || n.starts_with(prefix))
+            .map(|(n, _, _)| (*n).to_owned())
+            .collect()
+    }
+}
+
+/// Map obs export semantics onto PCP metric semantics.
+pub fn obs_semantics(s: obs::metrics::ExportSemantics) -> MetricSemantics {
+    match s {
+        obs::metrics::ExportSemantics::Counter => MetricSemantics::Counter,
+        obs::metrics::ExportSemantics::Instant => MetricSemantics::Instant,
+    }
+}
+
+/// Resolve a `pmcd.obs.*` name against the global registry.
+pub fn obs_lookup(name: &str) -> Option<MetricId> {
+    let bare = name.strip_prefix(OBS_PREFIX)?;
+    obs::registry()
+        .export()
+        .iter()
+        .position(|e| e.name == bare)
+        .map(|idx| MetricId(OBS_METRIC_BASE + idx as u32))
+}
+
+/// Descriptor for a `pmcd.obs.*` metric id.
+pub fn obs_desc(id: MetricId) -> Option<MetricDesc> {
+    let idx = id.0.checked_sub(OBS_METRIC_BASE)? as usize;
+    let entry = obs::registry().export().into_iter().nth(idx)?;
+    Some(self_desc(
+        id,
+        &format!("{OBS_PREFIX}{}", entry.name),
+        "count",
+        obs_semantics(entry.semantics),
+    ))
+}
+
+/// Current value of a `pmcd.obs.*` metric id (any instance).
+pub fn obs_value(id: MetricId) -> Option<u64> {
+    let idx = id.0.checked_sub(OBS_METRIC_BASE)? as usize;
+    obs::registry().export().get(idx).map(|e| e.value)
+}
+
+/// All `pmcd.obs.*` names matching a dotted prefix.
+pub fn obs_children(prefix: &str) -> Vec<String> {
+    obs::registry()
+        .export()
+        .iter()
+        .map(|e| format!("{OBS_PREFIX}{}", e.name))
+        .filter(|n| prefix.is_empty() || n.starts_with(prefix))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_names_in_table_match_bucket_spec() {
+        for (i, (_, name)) in LATENCY_BUCKETS.iter().enumerate() {
+            assert_eq!(DAEMON_SELF_METRICS[4 + i].0, *name);
+        }
+        // The names state the exact power-of-two nanosecond threshold.
+        for (k, name) in LATENCY_BUCKETS {
+            let threshold: u64 = name
+                .rsplit("lt_")
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("bucket name ends in its threshold");
+            assert_eq!(threshold, 1u64 << k, "{name}");
+        }
+    }
+
+    #[test]
+    fn daemon_stats_values_track_activity() {
+        let stats = DaemonStats::new();
+        assert_eq!(stats.value(0), Some(0));
+        assert_eq!(stats.value(2), Some(0));
+        stats.record_request();
+        stats.record_reply();
+        stats.record_fetch(Duration::from_nanos(900)); // < 1024
+        stats.record_fetch(Duration::from_micros(100)); // < 131072
+        assert_eq!(stats.value(0), Some(1));
+        assert_eq!(stats.value(1), Some(1));
+        assert_eq!(stats.value(2), Some(2));
+        assert_eq!(stats.value(3), Some(900 + 100_000));
+        assert_eq!(stats.value(4), Some(1)); // lt_1024
+        assert_eq!(stats.value(6), Some(2)); // lt_131072 (cumulative)
+        assert_eq!(stats.value(9), None);
+    }
+
+    #[test]
+    fn obs_registry_is_exported_under_pmcd_obs() {
+        obs::registry().counter("selfmetrics.test_counter").add(17);
+        let id = obs_lookup("pmcd.obs.selfmetrics.test_counter").expect("resolves");
+        assert!(id.0 >= OBS_METRIC_BASE);
+        assert_eq!(obs_value(id), Some(17));
+        let desc = obs_desc(id).expect("desc");
+        assert_eq!(desc.name, "pmcd.obs.selfmetrics.test_counter");
+        assert_eq!(desc.semantics, MetricSemantics::Counter);
+        assert!(obs_children("pmcd")
+            .iter()
+            .any(|n| n == "pmcd.obs.selfmetrics.test_counter"));
+        assert!(obs_lookup("pmcd.obs.nope").is_none());
+        assert!(obs_lookup("selfmetrics.test_counter").is_none());
+    }
+}

@@ -187,9 +187,10 @@ fn wire_server_self_metrics_fetchable() {
 
     let pdu_in = c.pm_lookup_name("pmcd.pdu.in").unwrap();
     let fetches = c.pm_lookup_name("pmcd.fetch.count").unwrap();
-    let le_1ms = c
-        .pm_lookup_name("pmcd.fetch.latency_seconds.le_1ms")
+    let lt_1ms = c
+        .pm_lookup_name("pmcd.fetch.latency_ns.lt_1048576")
         .unwrap();
+    let queue_depth = c.pm_lookup_name("pmcd.queue.depth").unwrap();
     let desc = c.pm_get_desc(pdu_in).unwrap();
     assert_eq!(desc.name, "pmcd.pdu.in");
     assert_eq!(desc.units, "count");
@@ -198,7 +199,8 @@ fn wire_server_self_metrics_fetchable() {
         .pm_fetch(&[
             (pdu_in, InstanceId(0)),
             (fetches, InstanceId(0)),
-            (le_1ms, InstanceId(0)),
+            (lt_1ms, InstanceId(0)),
+            (queue_depth, InstanceId(0)),
         ])
         .unwrap();
     assert!(vals[0] >= 6, "pdu.in {vals:?}"); // creds + lookups + fetches
@@ -207,10 +209,59 @@ fn wire_server_self_metrics_fetchable() {
         vals[2] <= vals[1],
         "histogram bucket exceeds total {vals:?}"
     );
+    // One client, served synchronously: nothing is waiting right now.
+    assert_eq!(vals[3], 0, "queue.depth {vals:?}");
 
     // The pmcd subtree appears in children listings alongside perfevent.
     let names = c.pm_get_children("pmcd").unwrap();
     assert!(names.contains(&"pmcd.pdu.in".to_string()));
-    assert!(names.contains(&"pmcd.fetch.latency_seconds.le_1ms".to_string()));
-    assert_eq!(c.pm_get_children("").unwrap().len(), 16 + names.len());
+    assert!(names.contains(&"pmcd.fetch.latency_ns.lt_1048576".to_string()));
+    assert!(names.contains(&"pmcd.queue.depth".to_string()));
+    // 16 nest metrics + the pmcd subtree. `>=` with containment rather
+    // than an exact count: pmcd.obs.* entries may be registered by other
+    // tests in this process at any time (the registry is append-only).
+    let all = c.pm_get_children("").unwrap();
+    assert!(all.len() >= 16 + names.len(), "{} names", all.len());
+    for n in &names {
+        assert!(all.contains(n), "root listing missing {n}");
+    }
+}
+
+/// Acceptance check: a metric registered in the global obs registry is
+/// fetchable through *both* transports — the in-process client and the
+/// TCP wire — with identical ids and values.
+#[test]
+fn obs_metrics_identical_through_both_transports() {
+    obs::registry()
+        .counter("transport.parity_counter")
+        .add(1234);
+
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 99);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+
+    let daemon = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default())
+        .expect("spawn daemon");
+    let ctx = PcpContext::connect(daemon.handle(), None);
+    let server = PmcdServer::bind_system("127.0.0.1:0", pmns, sockets, WireConfig::default())
+        .expect("bind server");
+    let wire = WireClient::connect(server.local_addr()).unwrap();
+
+    let name = "pmcd.obs.transport.parity_counter";
+    let id_in = ctx.pm_lookup_name(name).expect("in-process lookup");
+    let id_wire = wire.pm_lookup_name(name).expect("wire lookup");
+    assert_eq!(id_in, id_wire, "same reserved id through both transports");
+
+    let v_in = ctx.pm_fetch(&[(id_in, InstanceId(0))]).unwrap()[0];
+    let v_wire = wire.pm_fetch(&[(id_wire, InstanceId(0))]).unwrap()[0];
+    assert_eq!(v_in, 1234);
+    assert_eq!(v_in, v_wire, "same value through both transports");
+
+    let d_in = ctx.pm_get_desc(id_in).expect("in-process desc");
+    let d_wire = wire.pm_get_desc(id_wire).expect("wire desc");
+    assert_eq!(d_in.name, name);
+    assert_eq!(d_in.name, d_wire.name);
+    assert_eq!(d_in.semantics, d_wire.semantics);
 }

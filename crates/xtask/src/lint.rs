@@ -22,6 +22,14 @@
 //!    `// privilege-ok: <why>` comment at the access site. This is a taint
 //!    check: socket-wide counters are privileged state, and every public
 //!    door to them must show its capability.
+//! 4. **obs-feature-gate** — every `obs::span!` / `obs::instant!` call in
+//!    non-test code must sit behind a `#[cfg(feature = "obs")]` attribute
+//!    (same line or the contiguous attribute block directly above), or
+//!    waive the rule with a `// obs-ok: <why>` comment. Spans are hot-path
+//!    instrumentation; the gate guarantees default builds pay nothing for
+//!    them. The `obs` crate itself is exempt (it implements the layer).
+//!    Because the attribute's `"obs"` is a string literal — which the
+//!    scrubber blanks — this rule inspects the raw source lines.
 //!
 //! The scanner is a lightweight lexer (comments, strings and char literals
 //! stripped; `#[cfg(test)]` modules brace-matched and skipped), not a full
@@ -38,6 +46,12 @@ const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp"];
 /// implement the privilege boundary rather than crossing it.
 const TAINT_EXEMPT_CRATES: &[&str] = &["memsim", "pcp"];
 
+/// Tracer call sites that must be feature-gated (rule 4).
+const OBS_NEEDLES: &[&str] = &["obs::span!", "obs::instant!"];
+
+/// Crates exempt from rule 4: the tracer crate itself.
+const OBS_EXEMPT_CRATES: &[&str] = &["obs"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -53,6 +67,7 @@ pub enum Rule {
     NoPanic,
     RelaxedOk,
     PrivilegeTaint,
+    ObsFeatureGate,
 }
 
 impl fmt::Display for Rule {
@@ -61,6 +76,7 @@ impl fmt::Display for Rule {
             Rule::NoPanic => write!(f, "no-panic"),
             Rule::RelaxedOk => write!(f, "relaxed-ok"),
             Rule::PrivilegeTaint => write!(f, "privilege-taint"),
+            Rule::ObsFeatureGate => write!(f, "obs-feature-gate"),
         }
     }
 }
@@ -81,6 +97,9 @@ struct Scrubbed {
     code: Vec<String>,
     /// Comment text per line (line + block comments).
     comment: Vec<String>,
+    /// The unmodified source lines — for checks that must see string
+    /// literals, like `feature = "obs"` inside a `#[cfg(…)]` attribute.
+    raw: Vec<String>,
     /// Whether the line sits inside a `#[cfg(test)]` item.
     is_test: Vec<bool>,
 }
@@ -258,10 +277,12 @@ fn scrub(source: &str) -> Scrubbed {
 
     let code: Vec<String> = code.lines().map(str::to_owned).collect();
     let comment: Vec<String> = comment.lines().map(str::to_owned).collect();
+    let raw: Vec<String> = source.lines().map(str::to_owned).collect();
     let is_test = mark_test_lines(&code);
     Scrubbed {
         code,
         comment,
+        raw,
         is_test,
     }
 }
@@ -274,9 +295,24 @@ fn prev_is_ident(code: &str) -> bool {
 
 /// Mark lines belonging to `#[cfg(test)]` items (brace-matched).
 fn mark_test_lines(code: &[String]) -> Vec<bool> {
+    mark_gated_lines(code, code, &|a| {
+        a.contains("cfg(test") || a.contains("cfg(all(test")
+    })
+}
+
+/// Mark lines belonging to items behind an attribute matching `is_gate`
+/// (brace-matched). Attribute lines are detected on the `code` view;
+/// `is_gate` runs against the same line of `attr_view` — pass the raw
+/// view when the attribute's argument is a string literal the scrubber
+/// blanks (e.g. `feature = "obs"`).
+fn mark_gated_lines(
+    code: &[String],
+    attr_view: &[String],
+    is_gate: &dyn Fn(&str) -> bool,
+) -> Vec<bool> {
     let mut out = vec![false; code.len()];
     let mut pending_attr = false;
-    let mut depth: i64 = 0; // >0 while inside a cfg(test) item
+    let mut depth: i64 = 0; // >0 while inside a gated item
     let mut waiting_open = false;
     for (ln, line) in code.iter().enumerate() {
         if depth > 0 || waiting_open {
@@ -297,7 +333,7 @@ fn mark_test_lines(code: &[String]) -> Vec<bool> {
             continue;
         }
         let t = line.trim_start();
-        if t.starts_with("#[") && (t.contains("cfg(test") || t.contains("cfg(all(test")) {
+        if t.starts_with("#[") && is_gate(attr_view[ln].trim_start()) {
             pending_attr = true;
             out[ln] = true;
             continue;
@@ -405,8 +441,66 @@ pub fn lint_source(crate_name: &str, file: &str, source: &str) -> Vec<Violation>
         taint_check(&s, file, &mut out);
     }
 
+    // Rule 4: obs call sites must be feature-gated. Item-level gates
+    // (`#[cfg(feature = "obs")]` on the enclosing fn/mod/impl) are
+    // brace-matched; statement-level and same-line gates are checked by
+    // `obs_gated`. Detection runs on the raw view because the scrubber
+    // blanks the attribute's `"obs"` string literal.
+    if !OBS_EXEMPT_CRATES.contains(&crate_name) {
+        let in_gated_item = mark_gated_lines(&s.code, &s.raw, &|a| {
+            let flat: String = a.split_whitespace().collect();
+            flat.contains("feature=\"obs\"")
+        });
+        for (ln, code) in s.code.iter().enumerate() {
+            if s.is_test[ln] || !OBS_NEEDLES.iter().any(|n| code.contains(n)) {
+                continue;
+            }
+            if in_gated_item[ln] || obs_gated(&s, ln) || annotated(&s, ln, "obs-ok:") {
+                continue;
+            }
+            out.push(Violation {
+                file: file.to_owned(),
+                line: ln + 1,
+                rule: Rule::ObsFeatureGate,
+                msg: "tracer call without a `#[cfg(feature = \"obs\")]` gate \
+                      (add the attribute or a `// obs-ok:` waiver)"
+                    .to_owned(),
+            });
+        }
+    }
+
     out.sort_by_key(|v| v.line);
     out
+}
+
+/// True when line `ln` sits behind a `#[cfg(feature = "obs")]` gate: the
+/// attribute appears on the line itself or in the contiguous run of
+/// attribute lines directly above. Works on the raw lines because the
+/// scrubber blanks the `"obs"` string literal out of the code view.
+fn obs_gated(s: &Scrubbed, ln: usize) -> bool {
+    let has_gate = |line: &str| {
+        let flat: String = line.split_whitespace().collect();
+        flat.contains("feature=\"obs\"")
+    };
+    if has_gate(&s.raw[ln]) {
+        return true;
+    }
+    let mut i = ln;
+    while i > 0 {
+        i -= 1;
+        let t = s.raw[i].trim_start();
+        if t.starts_with("#[") {
+            if has_gate(t) {
+                return true;
+            }
+            continue; // stacked attributes
+        }
+        if t.starts_with("//") {
+            continue; // comments may interleave with attributes
+        }
+        break;
+    }
+    false
 }
 
 /// Needles that constitute a `NestCounters` read.
@@ -600,7 +694,7 @@ pub fn run(root: &Path) -> std::io::Result<usize> {
         eprintln!("{v}");
     }
     if violations.is_empty() {
-        eprintln!("lint clean: {nfiles} files, 3 rules");
+        eprintln!("lint clean: {nfiles} files, 4 rules");
     } else {
         eprintln!("{} violation(s) in {nfiles} files", violations.len());
     }
@@ -643,6 +737,26 @@ mod tests {
         let v = lint_source("memsim", "f.rs", bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::RelaxedOk);
+    }
+
+    #[test]
+    fn obs_gate_rule_accepts_gated_waived_and_exempt_sites() {
+        // Statement-level gate directly above the call.
+        let gated = "#[cfg(feature = \"obs\")]\nlet _s = obs::span!(\"x\");\n";
+        assert!(lint_source("memsim", "f.rs", gated).is_empty());
+        // Item-level gate on the enclosing fn (brace-matched).
+        let item = "#[cfg(feature = \"obs\")]\nfn f() {\n    obs::instant!(\"x\");\n}\n";
+        assert!(lint_source("memsim", "f.rs", item).is_empty());
+        // Waiver comment.
+        let waived = "// obs-ok: measures the tracer itself\nlet _s = obs::span!(\"x\");\n";
+        assert!(lint_source("papi-repro", "f.rs", waived).is_empty());
+        // Ungated call: one violation, right line; the obs crate is exempt.
+        let bad = "fn f() {\n    let _s = obs::span!(\"x\");\n}\n";
+        let v = lint_source("kernels", "f.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ObsFeatureGate);
+        assert_eq!(v[0].line, 2);
+        assert!(lint_source("obs", "f.rs", bad).is_empty());
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Seeded obs-feature-gate violations. Lines 15 and 24 are the bad ones;
+//! everything else shows an accepted form.
+
+#[cfg(feature = "obs")]
+fn gated_by_attribute() {
+    let _span = obs::span!("fixture.gated");
+}
+
+fn gated_inline() {
+    #[cfg(feature = "obs")]
+    obs::instant!("fixture.inline");
+}
+
+fn ungated_span() {
+    let _span = obs::span!("fixture.bad"); // seeded violation
+}
+
+fn waived() {
+    // obs-ok: this binary exists to measure the tracer itself.
+    obs::instant!("fixture.waived");
+}
+
+fn ungated_instant() {
+    obs::instant!("fixture.bad_instant"); // seeded violation
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _span = obs::span!("fixture.test");
+    }
+}

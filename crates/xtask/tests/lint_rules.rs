@@ -6,6 +6,7 @@ use xtask::lint::{lint_source, Rule};
 const BAD_PANIC: &str = include_str!("fixtures/bad_panic.rs");
 const BAD_RELAXED: &str = include_str!("fixtures/bad_relaxed.rs");
 const BAD_TAINT: &str = include_str!("fixtures/bad_taint.rs");
+const BAD_OBS_GATE: &str = include_str!("fixtures/bad_obs_gate.rs");
 
 #[test]
 fn no_panic_rule_catches_seeded_violations() {
@@ -42,6 +43,20 @@ fn taint_rule_requires_token_or_waiver_on_public_fns() {
 fn taint_rule_exempts_boundary_crates() {
     assert!(lint_source("memsim", "fixtures/bad_taint.rs", BAD_TAINT).is_empty());
     assert!(lint_source("pcp", "fixtures/bad_taint.rs", BAD_TAINT).is_empty());
+}
+
+#[test]
+fn obs_gate_rule_catches_seeded_violations() {
+    let v = lint_source("kernels", "fixtures/bad_obs_gate.rs", BAD_OBS_GATE);
+    let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, vec![Rule::ObsFeatureGate; 2], "{v:?}");
+    let lines: Vec<_> = v.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![15, 24], "{v:?}");
+}
+
+#[test]
+fn obs_gate_rule_exempts_the_tracer_crate() {
+    assert!(lint_source("obs", "fixtures/bad_obs_gate.rs", BAD_OBS_GATE).is_empty());
 }
 
 #[test]

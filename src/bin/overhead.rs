@@ -1,0 +1,288 @@
+//! Quantifies the observability layer's own cost, then decomposes the
+//! direct-vs-wire fetch latency end to end — the `papi-validate` of the
+//! self-instrumentation layer.
+//!
+//! Part 1 measures the tracer against its documented budget
+//! (DESIGN.md §9): per-span recording cost must stay at or below
+//! [`SPAN_BUDGET_NS`], and steady-state recording must not allocate
+//! (checked with a counting global allocator). The process exits
+//! nonzero on either violation, so CI can gate on it.
+//!
+//! Part 2 answers the paper's question about our own stack: how much
+//! does the *indirection* cost? It times the same 16-metric nest fetch
+//! through the in-process daemon and through the TCP wire, reads the
+//! server's own `pmcd.fetch.latency_ns` self-metrics for the in-daemon
+//! handling share, and (when built with `--features obs`) attributes
+//! the PDU codec share from drained `wire.pdu.*` spans.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use p9_memsim::SimMachine;
+use pcp_sim::{InstanceId, PcpContext, PmApi, Pmcd, PmcdConfig, Pmns};
+use pcp_wire::{PmcdServer, WireClient, WireConfig};
+
+/// DESIGN.md §9 budget: recording one span must cost at most this much
+/// on top of an empty loop iteration.
+const SPAN_BUDGET_NS: f64 = 50.0;
+
+/// Spans per timed batch — half the ring, so the timed loop exercises
+/// the push fast path rather than the saturated drop path.
+const BATCH: usize = 4096;
+const BATCHES: usize = 256;
+
+/// Fetch round-trips per latency-decomposition run.
+const FETCHES: usize = 2000;
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn main() -> ExitCode {
+    let mut pass = true;
+    println!("# obs overhead report");
+
+    // ------------------------------------------------------------------
+    // Part 1: tracer cost against the budget.
+    // ------------------------------------------------------------------
+    // Startup: ring creation, registration, clock calibration. All
+    // allocation is allowed to happen here, once.
+    {
+        let _warm = obs::span!("overhead.warmup"); // obs-ok: this binary measures the tracer
+        obs::instant!("overhead.warmup_instant"); // obs-ok: this binary measures the tracer
+    }
+    obs::counter!("overhead.counter").inc();
+    obs::histogram!("overhead.hist").record(1);
+    let _ = obs::clock::calibration();
+    drop(obs::drain());
+
+    // Baseline: the same loop shape with no span.
+    let mut base_ns = 0u128;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for i in 0..BATCH {
+            std::hint::black_box(i);
+        }
+        base_ns += t0.elapsed().as_nanos();
+    }
+
+    let mut span_ns = 0u128;
+    let mut steady_allocs = 0u64;
+    for _ in 0..BATCHES {
+        let a0 = ALLOC_CALLS.load(Ordering::SeqCst);
+        let t0 = Instant::now();
+        for i in 0..BATCH {
+            let _span = obs::span!("overhead.span", i as u64); // obs-ok: the measured site
+            std::hint::black_box(i);
+        }
+        span_ns += t0.elapsed().as_nanos();
+        steady_allocs += ALLOC_CALLS.load(Ordering::SeqCst) - a0;
+        // Drain outside the timed region so the ring never saturates.
+        drop(obs::drain());
+    }
+
+    let total = (BATCHES * BATCH) as f64;
+    let per_span = (span_ns.saturating_sub(base_ns)) as f64 / total;
+    println!("spans recorded:            {}", BATCHES * BATCH);
+    println!(
+        "raw loop cost:             {:>8.2} ns/iter",
+        span_ns as f64 / total
+    );
+    println!(
+        "baseline loop cost:        {:>8.2} ns/iter",
+        base_ns as f64 / total
+    );
+    println!(
+        "per-span overhead:         {:>8.2} ns (budget {SPAN_BUDGET_NS} ns)",
+        per_span
+    );
+    println!("steady-state allocations:  {steady_allocs}");
+
+    if per_span > SPAN_BUDGET_NS {
+        println!("FAIL: per-span overhead {per_span:.2} ns exceeds budget {SPAN_BUDGET_NS} ns");
+        pass = false;
+    } else {
+        println!("PASS: per-span overhead within budget");
+    }
+    if steady_allocs > 0 {
+        println!("FAIL: tracer allocated {steady_allocs} times after startup");
+        pass = false;
+    } else {
+        println!("PASS: zero steady-state allocations");
+    }
+
+    // Metric primitives, for the record (no budget gate; they are a
+    // single relaxed RMW each).
+    let t0 = Instant::now();
+    for i in 0..BATCHES * BATCH {
+        obs::counter!("overhead.counter").inc();
+        obs::histogram!("overhead.hist").record(i as u64);
+    }
+    println!(
+        "counter+histogram record:  {:>8.2} ns/pair",
+        t0.elapsed().as_nanos() as f64 / total
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2: direct vs wire fetch latency decomposition.
+    // ------------------------------------------------------------------
+    println!();
+    println!("# fetch latency decomposition (16-metric nest batch)");
+
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 11);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets: Vec<_> = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    // Zero modeled latency: this run times the real implementation, not
+    // the simulated indirection model.
+    let daemon = Pmcd::spawn_system(
+        pmns.clone(),
+        sockets.clone(),
+        PmcdConfig {
+            fetch_latency_s: 0.0,
+            fetch_touch: false,
+        },
+    )
+    .expect("spawn in-process daemon");
+    let ctx = PcpContext::connect(daemon.handle(), None);
+    let server =
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
+            .expect("bind wire server");
+    let wire = WireClient::connect(server.local_addr()).expect("connect wire client");
+
+    let requests: Vec<_> = pmns
+        .children("")
+        .iter()
+        .map(|n| {
+            (
+                pmns.lookup(n).expect("nest metric"),
+                pmns.instance_of_socket(0),
+            )
+        })
+        .collect();
+
+    for _ in 0..50 {
+        ctx.pm_fetch(&requests).expect("direct warmup");
+        wire.pm_fetch(&requests).expect("wire warmup");
+    }
+
+    let count_id = wire
+        .pm_lookup_name("pmcd.fetch.count")
+        .expect("self metric");
+    let sum_id = wire
+        .pm_lookup_name("pmcd.fetch.latency_ns.sum")
+        .expect("self metric");
+    let probe = [(count_id, InstanceId(0)), (sum_id, InstanceId(0))];
+    let before = wire.pm_fetch(&probe).expect("probe before");
+
+    drop(obs::drain());
+    let t0 = Instant::now();
+    for _ in 0..FETCHES {
+        ctx.pm_fetch(&requests).expect("direct fetch");
+    }
+    let direct_ns = t0.elapsed().as_nanos() as f64 / FETCHES as f64;
+    let direct_events = obs::drain();
+
+    let t0 = Instant::now();
+    for _ in 0..FETCHES {
+        wire.pm_fetch(&requests).expect("wire fetch");
+    }
+    let wire_ns = t0.elapsed().as_nanos() as f64 / FETCHES as f64;
+    let wire_events = obs::drain();
+
+    let after = wire.pm_fetch(&probe).expect("probe after");
+    let handled = after[0].saturating_sub(before[0]);
+    let server_ns = if handled > 0 {
+        after[1].saturating_sub(before[1]) as f64 / handled as f64
+    } else {
+        0.0
+    };
+
+    println!("direct in-process fetch:   {:>10.0} ns/fetch", direct_ns);
+    println!("wire TCP fetch:            {:>10.0} ns/fetch", wire_ns);
+    println!(
+        "  server-side handling:    {:>10.0} ns/fetch  (pmcd.fetch.latency_ns)",
+        server_ns
+    );
+
+    // Codec attribution from spans — present only when the stack was
+    // built with the obs feature; both client and server live in this
+    // process, so their encode/decode spans all land in our rings.
+    let encode_ns = label_mean_per_fetch(&wire_events, "wire.pdu.encode");
+    let decode_ns = label_mean_per_fetch(&wire_events, "wire.pdu.decode");
+    if wire_events.is_empty() {
+        println!("  (build with --features obs for codec and daemon span attribution)");
+    } else {
+        println!(
+            "  PDU encode, both sides:  {:>10.0} ns/fetch  ({} spans)",
+            encode_ns.0, encode_ns.1
+        );
+        println!(
+            "  PDU decode, both sides:  {:>10.0} ns/fetch  ({} spans)",
+            decode_ns.0, decode_ns.1
+        );
+        let rest = (wire_ns - server_ns - encode_ns.0 - decode_ns.0).max(0.0);
+        println!(
+            "  transport + scheduling:  {:>10.0} ns/fetch  (residual)",
+            rest
+        );
+        let daemon_spans = direct_events
+            .iter()
+            .filter(|e| e.label == "pmcd.fetch")
+            .count();
+        println!("direct daemon fetch spans: {daemon_spans} (in-process daemon traced end to end)");
+    }
+    println!(
+        "indirection ratio:         {:>10.2}x (wire / direct)",
+        wire_ns / direct_ns.max(1.0)
+    );
+
+    if pass {
+        println!();
+        println!("PASS: obs overhead within budget, zero steady-state allocations");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Sum the durations of all spans with `label` and average them over
+/// the [`FETCHES`] round-trips; also returns the span count.
+fn label_mean_per_fetch(events: &[obs::SpanEvent], label: &str) -> (f64, usize) {
+    let mut total = 0u64;
+    let mut n = 0usize;
+    for e in events {
+        if e.label == label {
+            total += e.dur_ns;
+            n += 1;
+        }
+    }
+    (total as f64 / FETCHES as f64, n)
+}
