@@ -15,95 +15,8 @@
 //!   unchanged, but the exposed miss latency (cycles) rises sharply
 //!   without prefetch.
 
-use fft3d::resort::{LocalDims, ResortTrace, S1cfNest1, S1cfNest2};
-use p9_memsim::{ModelPolicy, SimMachine};
+use std::process::ExitCode;
 
-fn quiet() -> SimMachine {
-    SimMachine::quiet(p9_arch::Machine::summit(), 101)
-}
-
-/// Run a resort trace under `policy` with the all-cores L3 share;
-/// returns (reads, writes) per 16-byte element.
-fn resort_per_element<T: ResortTrace>(
-    make: impl FnOnce(&mut SimMachine) -> T,
-    policy: ModelPolicy,
-) -> (f64, f64) {
-    let mut m = quiet();
-    m.set_policy(0, policy);
-    let t = make(&mut m);
-    let shared = m.socket_shared(0);
-    let before = shared.counters().snapshot();
-    let active = m.arch().node.sockets[0].usable_cores;
-    m.run_parallel(0, active, |tid, core| {
-        if tid == 0 {
-            t.run(core);
-        }
-    });
-    m.flush_socket(0);
-    let d = shared.counters().snapshot().delta(&before);
-    let elems = t.volume() as f64 / 16.0;
-    (
-        d.total_read() as f64 / 16.0 / elems,
-        d.total_write() as f64 / 16.0 / elems,
-    )
-}
-
-/// Streaming-read cycles per sector under `policy`.
-fn stream_cycles(policy: ModelPolicy) -> f64 {
-    let mut m = quiet();
-    m.set_policy(0, policy);
-    let bytes = 8u64 << 20;
-    let r = m.alloc(bytes);
-    let mut cycles = 0;
-    m.run_single(0, |core| {
-        let c0 = core.cycles();
-        core.load_seq(r.base(), bytes);
-        cycles = core.cycles() - c0;
-    });
-    cycles as f64 / (bytes / 64) as f64
-}
-
-fn main() {
-    let on = ModelPolicy::default();
-    println!("# Ablation study: model mechanisms vs the paper's phenomena");
-    println!("mechanism,metric,with,without,effect");
-
-    // --- store_gather_bypass ------------------------------------------
-    let off = ModelPolicy {
-        store_gather_bypass: false,
-        ..on
-    };
-    let dims = LocalDims::for_grid(224, 2, 4);
-    let (r_on, _) = resort_per_element(|m| S1cfNest1::allocate(m, dims), on);
-    let (r_off, _) = resort_per_element(|m| S1cfNest1::allocate(m, dims), off);
-    println!(
-        "store_gather_bypass,S1CF-nest1 reads/elem,{r_on:.2},{r_off:.2},\
-         bypass removes the read-for-ownership (Fig. 6a vs 6b)"
-    );
-
-    // --- anti_pollution -----------------------------------------------
-    let off = ModelPolicy {
-        anti_pollution: false,
-        ..on
-    };
-    let dims = LocalDims::for_grid(672, 2, 4);
-    let (r_on, _) = resort_per_element(|m| S1cfNest2::allocate(m, dims), on);
-    let (r_off, _) = resort_per_element(|m| S1cfNest2::allocate(m, dims), off);
-    println!(
-        "anti_pollution,S1CF-nest2 reads/elem near Eq.7 (N=672),{r_on:.2},{r_off:.2},\
-         streaming stores flushing the tmp window would smear the Eq.7 crossover"
-    );
-
-    // --- hw_prefetch ----------------------------------------------------
-    let off = ModelPolicy {
-        hw_prefetch: false,
-        ..on
-    };
-    let c_on = stream_cycles(on);
-    let c_off = stream_cycles(off);
-    println!(
-        "hw_prefetch,stream-read cycles/sector,{c_on:.1},{c_off:.1},\
-         prefetch hides the demand-miss latency"
-    );
-    repro_bench::obsreport::write_artifacts("ablation");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("ablation")
 }

@@ -3,53 +3,8 @@
 //! matrix A (`P × N`, `P = min(M, N)`); the hatched area below is the
 //! memory a plain GEMV of output size `M` would have needed.
 
-use blas_kernels::CappedGemvTrace;
-use p9_memsim::SimMachine;
-use repro_bench::Args;
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let m = args.get_u64("m", 4096).max(1);
-    let n = args.get_u64("n", 1280).max(1);
-    let mut machine = SimMachine::summit(1);
-    let t = CappedGemvTrace::allocate(&mut machine, m, n);
-
-    println!(
-        "Fig. 1: capped GEMV memory usage (M = {m}, N = {n}, P = {})",
-        t.p
-    );
-    println!();
-    let width = 40usize;
-    let rows = 16usize;
-    let cap_rows = ((t.p as f64 / m as f64) * rows as f64).ceil().max(1.0) as usize;
-    println!("        x (N elements, read once)");
-    println!("   +{}+", "-".repeat(width));
-    for r in 0..rows.min(cap_rows) {
-        let tag = if r == cap_rows / 2 {
-            " A (allocated: P x N)"
-        } else {
-            ""
-        };
-        println!("   |{}|{tag}", "#".repeat(width));
-    }
-    for r in cap_rows..rows {
-        let tag = if r == (cap_rows + rows) / 2 {
-            " rows i >= P reuse row i mod P (never allocated)"
-        } else {
-            ""
-        };
-        println!("   |{}|{tag}", "/ ".repeat(width / 2));
-    }
-    println!("   +{}+", "-".repeat(width));
-    println!("        y (M elements, written once)");
-    println!();
-    let full = m * n * 8;
-    let capped = t.p * n * 8;
-    println!(
-        "allocated A: {} MiB (vs {} MiB uncapped) -> {:.1}x saving at equal write traffic",
-        capped >> 20,
-        full >> 20,
-        full as f64 / capped as f64
-    );
-    repro_bench::obsreport::write_artifacts("fig1");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig1")
 }

@@ -5,61 +5,8 @@
 //! and S2CF achieves the higher bandwidth thanks to the locality of its
 //! access pattern.
 
-use fft3d::resort::{LocalDims, ResortTrace, S1cfCombined, S2cf};
-use repro_bench::{header, node, Args, System};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let seed = args.get_u64("seed", 10);
-    let (r, c) = (4usize, 8usize);
-    let sizes: Vec<usize> = if args.flag("full") {
-        vec![1344, 2016]
-    } else {
-        // 1344 runs in seconds; 2016 is the paper's larger size.
-        vec![672, 1344]
-    };
-
-    header(
-        "Fig. 10: S1CF vs S2CF bandwidth, 16 nodes, 4x8 grid",
-        &[
-            ("grid", format!("{r}x{c}")),
-            ("sizes", format!("{sizes:?}")),
-            ("seed", seed.to_string()),
-        ],
-    );
-    println!("routine,n,read_bytes,write_bytes,seconds,bandwidth_GBps,reads_per_write");
-
-    for &n in &sizes {
-        for routine in ["S1CF", "S2CF"] {
-            let (mut machine, _setup) = node(System::Summit, seed);
-            let active = machine.arch().node.sockets[0].usable_cores;
-            let trace: Box<dyn ResortTrace> = match routine {
-                "S1CF" => Box::new(S1cfCombined::allocate(
-                    &mut machine,
-                    LocalDims::for_grid(n, r, c),
-                )),
-                _ => Box::new(S2cf::for_grid(&mut machine, n, r, c)),
-            };
-            let shared = machine.socket_shared(0);
-            let before = shared.counters().snapshot();
-            let t0 = shared.now_seconds();
-            machine.run_parallel(0, active, |tid, core| {
-                if tid == 0 {
-                    trace.run(core);
-                }
-            });
-            let d = shared.counters().snapshot().delta(&before);
-            let dt = shared.now_seconds() - t0;
-            let moved = (d.total_read() + d.total_write()) as f64;
-            println!(
-                "{routine},{n},{},{},{:.6},{:.3},{:.3}",
-                d.total_read(),
-                d.total_write(),
-                dt,
-                moved / dt / 1e9,
-                d.total_read() as f64 / d.total_write().max(1) as f64,
-            );
-        }
-    }
-    repro_bench::obsreport::write_artifacts("fig10");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig10")
 }

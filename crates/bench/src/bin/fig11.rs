@@ -8,92 +8,8 @@
 //! ~2:1 read:write, phases 2/4 ~1:1 with higher bandwidth; the two
 //! All2All phases are the only network activity.
 
-use std::sync::Arc;
+use std::process::ExitCode;
 
-use fft3d::gpu::GpuFft3dRank;
-use nvml_sim::{GpuDevice, GpuParams};
-use papi_profiling::{Column, Profiler};
-use papi_sim::components::{IbComponent, NvmlComponent, PcpComponent};
-use pcp_sim::{PcpContext, Pmcd, PmcdConfig, Pmns};
-use ranksim::{ClusterSim, ProcessGrid};
-use repro_bench::{header, Args, System};
-
-fn main() {
-    let args = Args::parse();
-    let n = args.get_usize("n", 896);
-    let slabs = args.get_usize("slabs", 6);
-    let seed = args.get_u64("seed", 11);
-    let grid = ProcessGrid::new(8, 8);
-
-    let machine = System::Summit.machine(seed);
-    let gpu = Arc::new(GpuDevice::new(
-        0,
-        GpuParams::default(),
-        machine.socket_shared(0),
-    ));
-    let mut cluster = ClusterSim::new(machine, grid, 2);
-    let rank = GpuFft3dRank::new(&mut cluster, Arc::clone(&gpu), n, slabs);
-
-    // Wire PAPI: PCP over the instrumented node's sockets, NVML over the
-    // pipeline's GPU, InfiniBand over node 0's rails.
-    let pmns = Pmns::for_machine(cluster.machine().arch());
-    let sockets: Vec<_> = (0..cluster.machine().num_sockets())
-        .map(|s| cluster.machine().socket_shared(s))
-        .collect();
-    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default())
-        .expect("spawn pmcd");
-    let ctx = PcpContext::connect(pmcd.handle(), Some(cluster.machine().socket_shared(0)));
-    let mut papi = papi_sim::Papi::new();
-    papi.register(Box::new(PcpComponent::new(ctx, pmns, sockets)));
-    papi.register(Box::new(NvmlComponent::new(vec![Arc::clone(&gpu)])));
-    papi.register(Box::new(IbComponent::new(
-        cluster.fabric().node(0).hcas.clone(),
-    )));
-
-    header(
-        "Fig. 11: performance profile of a single 3D-FFT rank",
-        &[
-            ("grid", "8x8 (32 nodes)".into()),
-            ("N", n.to_string()),
-            ("slabs per phase", slabs.to_string()),
-        ],
-    );
-
-    let columns = vec![
-        Column::gauge("nvml:::Tesla_V100-SXM2-16GB:device_0:power", "gpu_power_mW"),
-        Column::counter(
-            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
-            "mem_read_Bps",
-        )
-        .scaled(8.0),
-        Column::counter(
-            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
-            "mem_write_Bps",
-        )
-        .scaled(8.0),
-        Column::counter(
-            "infiniband:::mlx5_0_1_ext:port_recv_data",
-            "ib_recv_words_ps",
-        )
-        .scaled(2.0),
-    ];
-
-    let mut profiler = Profiler::start(&papi, columns).expect("profiler start");
-    rank.run(&mut cluster, |phase, cl| {
-        let now = cl.machine().socket_shared(0).now_seconds();
-        profiler.tick(phase, now).expect("sample");
-    });
-
-    let timeline = profiler.finish().expect("profiler stop");
-    print!("{}", timeline.to_csv());
-    println!();
-    println!("# phase means:");
-    println!("phase,gpu_power_mW,mem_read_Bps,mem_write_Bps,ib_recv_words_ps");
-    for (phase, means) in timeline.phase_summary() {
-        println!(
-            "{phase},{:.0},{:.3e},{:.3e},{:.3e}",
-            means[0], means[1], means[2], means[3]
-        );
-    }
-    repro_bench::obsreport::write_artifacts("fig11");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig11")
 }

@@ -7,99 +7,8 @@
 //! moves more host memory and runs heavier GPU kernels; only DMC (walker
 //! load balancing) touches the network.
 
-use std::sync::Arc;
+use std::process::ExitCode;
 
-use nvml_sim::{GpuDevice, GpuParams};
-use papi_profiling::{Column, Profiler};
-use papi_sim::components::{IbComponent, NvmlComponent, PcpComponent};
-use pcp_sim::{PcpContext, Pmcd, PmcdConfig, Pmns};
-use qmc_mini::app::{QmcApp, QmcConfig};
-use ranksim::{ClusterSim, ProcessGrid};
-use repro_bench::{header, Args, System};
-
-fn main() {
-    let args = Args::parse();
-    let seed = args.get_u64("seed", 12);
-    let cfg = QmcConfig {
-        walkers: args.get_usize("walkers", 1024),
-        blocks_per_phase: args.get_usize("blocks", 10),
-        steps_per_block: args.get_usize("steps", 30),
-        alpha: 0.85,
-        seed,
-    };
-
-    let machine = System::Summit.machine(seed);
-    let gpu = Arc::new(GpuDevice::new(
-        0,
-        GpuParams::default(),
-        machine.socket_shared(0),
-    ));
-    let mut cluster = ClusterSim::new(machine, ProcessGrid::new(4, 4), 2);
-    let app = QmcApp::new(&mut cluster, Arc::clone(&gpu), cfg);
-
-    let pmns = Pmns::for_machine(cluster.machine().arch());
-    let sockets: Vec<_> = (0..cluster.machine().num_sockets())
-        .map(|s| cluster.machine().socket_shared(s))
-        .collect();
-    let pmcd = Pmcd::spawn_system(pmns.clone(), sockets.clone(), PmcdConfig::default())
-        .expect("spawn pmcd");
-    let ctx = PcpContext::connect(pmcd.handle(), Some(cluster.machine().socket_shared(0)));
-    let mut papi = papi_sim::Papi::new();
-    papi.register(Box::new(PcpComponent::new(ctx, pmns, sockets)));
-    papi.register(Box::new(NvmlComponent::new(vec![Arc::clone(&gpu)])));
-    papi.register(Box::new(IbComponent::new(
-        cluster.fabric().node(0).hcas.clone(),
-    )));
-
-    header(
-        "Fig. 12: performance profile of a single QMCPACK rank",
-        &[
-            ("phases", "vmc, vmc-drift, dmc".into()),
-            ("walkers", cfg.walkers.to_string()),
-            ("blocks/phase", cfg.blocks_per_phase.to_string()),
-        ],
-    );
-
-    let columns = vec![
-        Column::gauge("nvml:::Tesla_V100-SXM2-16GB:device_0:power", "gpu_power_mW"),
-        Column::counter(
-            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
-            "mem_read_Bps",
-        )
-        .scaled(8.0),
-        Column::counter(
-            "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
-            "mem_write_Bps",
-        )
-        .scaled(8.0),
-        Column::counter(
-            "infiniband:::mlx5_0_1_ext:port_recv_data",
-            "ib_recv_words_ps",
-        )
-        .scaled(2.0),
-    ];
-
-    let mut profiler = Profiler::start(&papi, columns).expect("profiler start");
-    let result = app.run(&mut cluster, |phase, cl| {
-        let now = cl.machine().socket_shared(0).now_seconds();
-        profiler.tick(phase, now).expect("sample");
-    });
-
-    let timeline = profiler.finish().expect("profiler stop");
-    print!("{}", timeline.to_csv());
-    println!();
-    println!("# phase means:");
-    println!("phase,gpu_power_mW,mem_read_Bps,mem_write_Bps,ib_recv_words_ps");
-    for (phase, means) in timeline.phase_summary() {
-        println!(
-            "{phase},{:.0},{:.3e},{:.3e},{:.3e}",
-            means[0], means[1], means[2], means[3]
-        );
-    }
-    println!();
-    println!(
-        "# physics check: E(vmc)={:.4}, E(vmc-drift)={:.4}, E(dmc)={:.4} (exact 1.5)",
-        result.vmc_energy, result.vmc_drift_energy, result.dmc_energy
-    );
-    repro_bench::obsreport::write_artifacts("fig12");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig12")
 }

@@ -6,31 +6,8 @@
 //! the 3N²/N² expectations only for larger problems, identically on both
 //! measurement paths.
 
-use repro_bench::figures::{gemm_sweep, print_gemm_rows};
-use repro_bench::{gemm_sizes, header, Args, System};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let system = System::from_arg(&args.get_or("system", "summit"));
-    let sizes = gemm_sizes(args.flag("full"));
-    let seed = args.get_u64("seed", 2);
-    header(
-        "Fig. 2: single-threaded GEMM, 1 repetition",
-        &[
-            ("system", system.name().into()),
-            (
-                "events",
-                if system == System::Summit {
-                    "pcp".into()
-                } else {
-                    "perf_uncore".into()
-                },
-            ),
-            ("seed", seed.to_string()),
-        ],
-    );
-    let rows = gemm_sweep(system, 1, &sizes, |_| 1, seed);
-    let bounds = blas_kernels::gemm_cache_bounds(p9_arch::L3_PER_CORE_BYTES);
-    print_gemm_rows(&rows, bounds);
-    repro_bench::obsreport::write_artifacts("fig2");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig2")
 }

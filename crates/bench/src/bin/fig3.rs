@@ -8,36 +8,8 @@
 //! batched kernel matches the expectation and jumps once each core's 5 MB
 //! share is exceeded.
 
-use repro_bench::figures::{gemm_sweep, print_gemm_rows};
-use repro_bench::{gemm_sizes, header, Args, System};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let mode = args.get_or("mode", "both");
-    let sizes = gemm_sizes(args.flag("full"));
-    let seed = args.get_u64("seed", 3);
-    let mut runs: Vec<(&str, usize)> = Vec::new();
-    if mode == "single" || mode == "both" {
-        runs.push(("single", 1));
-    }
-    if mode == "batched" || mode == "both" {
-        runs.push(("batched", 21));
-    }
-    for (label, threads) in runs {
-        header(
-            &format!("Fig. 3 ({label}): GEMM, adaptive repetitions (Eq. 5), PCP"),
-            &[("threads", threads.to_string()), ("seed", seed.to_string())],
-        );
-        let rows = gemm_sweep(
-            System::Summit,
-            threads,
-            &sizes,
-            blas_kernels::repetitions,
-            seed,
-        );
-        let bounds = blas_kernels::gemm_cache_bounds(p9_arch::L3_PER_CORE_BYTES);
-        print_gemm_rows(&rows, bounds);
-        println!();
-    }
-    repro_bench::obsreport::write_artifacts("fig3");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig3")
 }

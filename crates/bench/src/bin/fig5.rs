@@ -7,28 +7,8 @@
 //! writes exceed the tiny `M` expectation until M reaches ~10⁴ (noise
 //! floor), on both measurement paths.
 
-use repro_bench::figures::{gemv_sweep, print_gemv_rows};
-use repro_bench::{gemv_sizes, header, Args, System};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let system = System::from_arg(&args.get_or("system", "summit"));
-    let sizes = gemv_sizes(args.flag("full"));
-    let seed = args.get_u64("seed", 5);
-    let threads = if system == System::Summit { 21 } else { 16 };
-    header(
-        "Fig. 5: batched, capped GEMV",
-        &[
-            ("system", system.name().into()),
-            ("threads", threads.to_string()),
-            (
-                "cap (M=N=P transition)",
-                repro_bench::figures::GEMV_CAP.to_string(),
-            ),
-            ("seed", seed.to_string()),
-        ],
-    );
-    let rows = gemv_sweep(system, threads, &sizes, seed);
-    print_gemv_rows(&rows);
-    repro_bench::obsreport::write_artifacts("fig5");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig5")
 }

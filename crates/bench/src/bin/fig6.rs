@@ -5,41 +5,8 @@
 //! Expected shape: one read + one write per element without the flag
 //! (stores bypass the cache); `dcbtst` adds a second read (of `tmp`).
 
-use fft3d::resort::{LocalDims, ResortTrace, S1cfNest1};
-use repro_bench::figures::{measure_resort, print_resort_rows};
-use repro_bench::{fft_sizes, header, Args};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let sizes = fft_sizes(args.flag("full"));
-    let runs = args.get_usize("runs", 2);
-    let seed = args.get_u64("seed", 6);
-    for prefetch in [false, true] {
-        header(
-            &format!(
-                "Fig. 6{}: S1CF loop nest 1, {} -fprefetch-loop-arrays",
-                if prefetch { 'b' } else { 'a' },
-                if prefetch { "with" } else { "without" }
-            ),
-            &[("grid", "2x4".into()), ("runs", runs.to_string())],
-        );
-        let rows: Vec<_> = sizes
-            .iter()
-            .map(|&n| {
-                measure_resort(
-                    &|m, n| {
-                        Box::new(S1cfNest1::allocate(m, LocalDims::for_grid(n, 2, 4)))
-                            as Box<dyn ResortTrace>
-                    },
-                    n,
-                    prefetch,
-                    runs,
-                    seed,
-                )
-            })
-            .collect();
-        print_resort_rows(&rows);
-        println!();
-    }
-    repro_bench::obsreport::write_artifacts("fig6");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig6")
 }

@@ -6,46 +6,8 @@
 //! per element toward ~5 once N passes the Eq. 7 bound (~724 for a 5 MB
 //! share and 8 ranks).
 
-use fft3d::resort::{LocalDims, ResortTrace, S1cfNest2};
-use repro_bench::figures::{measure_resort, print_resort_rows};
-use repro_bench::{fft_sizes, header, Args};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let sizes = fft_sizes(args.flag("full"));
-    let runs = args.get_usize("runs", 2);
-    let seed = args.get_u64("seed", 7);
-    let bound = fft3d::model::eq7_bound(p9_arch::L3_PER_CORE_BYTES, 8);
-    for prefetch in [false, true] {
-        header(
-            &format!(
-                "Fig. 7{}: S1CF loop nest 2, {} -fprefetch-loop-arrays",
-                if prefetch { 'b' } else { 'a' },
-                if prefetch { "with" } else { "without" }
-            ),
-            &[
-                ("grid", "2x4".into()),
-                ("runs", runs.to_string()),
-                ("eq7 bound", bound.to_string()),
-            ],
-        );
-        let rows: Vec<_> = sizes
-            .iter()
-            .map(|&n| {
-                measure_resort(
-                    &|m, n| {
-                        Box::new(S1cfNest2::allocate(m, LocalDims::for_grid(n, 2, 4)))
-                            as Box<dyn ResortTrace>
-                    },
-                    n,
-                    prefetch,
-                    runs,
-                    seed,
-                )
-            })
-            .collect();
-        print_resort_rows(&rows);
-        println!();
-    }
-    repro_bench::obsreport::write_artifacts("fig7");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig7")
 }

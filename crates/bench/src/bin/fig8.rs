@@ -5,34 +5,8 @@
 //! write per element — "significantly less reading than ... the original
 //! S1CF".
 
-use fft3d::resort::{LocalDims, ResortTrace, S1cfCombined};
-use repro_bench::figures::{measure_resort, print_resort_rows};
-use repro_bench::{fft_sizes, header, Args};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let sizes = fft_sizes(args.flag("full"));
-    let runs = args.get_usize("runs", 2);
-    let seed = args.get_u64("seed", 8);
-    header(
-        "Fig. 8: S1CF combined loop nest, no additional compiler optimizations",
-        &[("grid", "2x4".into()), ("runs", runs.to_string())],
-    );
-    let rows: Vec<_> = sizes
-        .iter()
-        .map(|&n| {
-            measure_resort(
-                &|m, n| {
-                    Box::new(S1cfCombined::allocate(m, LocalDims::for_grid(n, 2, 4)))
-                        as Box<dyn ResortTrace>
-                },
-                n,
-                false,
-                runs,
-                seed,
-            )
-        })
-        .collect();
-    print_resort_rows(&rows);
-    repro_bench::obsreport::write_artifacts("fig8");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig8")
 }

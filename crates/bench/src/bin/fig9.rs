@@ -5,38 +5,8 @@
 //! innermost storage dimension, so the stride is amortized: one read and
 //! one write per element; `dcbtst` adds the extra read of `out`.
 
-use fft3d::resort::{ResortTrace, S2cf};
-use repro_bench::figures::{measure_resort, print_resort_rows};
-use repro_bench::{fft_sizes, header, Args};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let sizes = fft_sizes(args.flag("full"));
-    let runs = args.get_usize("runs", 2);
-    let seed = args.get_u64("seed", 9);
-    for prefetch in [false, true] {
-        header(
-            &format!(
-                "Fig. 9{}: S2CF, {} -fprefetch-loop-arrays",
-                if prefetch { 'b' } else { 'a' },
-                if prefetch { "with" } else { "without" }
-            ),
-            &[("grid", "2x4".into()), ("runs", runs.to_string())],
-        );
-        let rows: Vec<_> = sizes
-            .iter()
-            .map(|&n| {
-                measure_resort(
-                    &|m, n| Box::new(S2cf::for_grid(m, n, 2, 4)) as Box<dyn ResortTrace>,
-                    n,
-                    prefetch,
-                    runs,
-                    seed,
-                )
-            })
-            .collect();
-        print_resort_rows(&rows);
-        println!();
-    }
-    repro_bench::obsreport::write_artifacts("fig9");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("fig9")
 }

@@ -1,26 +1,8 @@
 //! `papi_avail`-style listing: component status and every native event
 //! the running stack exposes, for either system.
 
-use repro_bench::{node, Args, System};
+use std::process::ExitCode;
 
-fn main() {
-    let args = Args::parse();
-    let system = System::from_arg(&args.get_or("system", "summit"));
-    let (_machine, setup) = node(system, 1);
-
-    println!("PAPI component availability on {}:", system.name());
-    println!("{:-<72}", "");
-    for s in setup.papi.component_status() {
-        match (&s.enabled, &s.reason) {
-            (true, _) => println!("  {:<14} [enabled]", s.name),
-            (false, Some(r)) => println!("  {:<14} [disabled: {r}]", s.name),
-            _ => {}
-        }
-    }
-    println!();
-    println!("Native events:");
-    println!("{:-<72}", "");
-    for ev in setup.papi.list_all_events() {
-        println!("  {:<78} ({})", ev.name, ev.units);
-    }
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("papi_avail")
 }

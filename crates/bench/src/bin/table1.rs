@@ -1,42 +1,8 @@
 //! Table I: the systems and the memory-traffic performance events
 //! measured on each, as exposed by the running PAPI stack.
 
-use repro_bench::{node, System};
+use std::process::ExitCode;
 
-fn main() {
-    println!("TABLE I: Architectures and Performance Events");
-    println!("system,arch,component,event");
-    for system in [System::Summit, System::Tellico] {
-        let (machine, setup) = node(system, 1);
-        let arch = "IBM POWER9";
-        for status in setup.papi.component_status() {
-            if !status.enabled {
-                continue;
-            }
-            if status.name != "pcp" && status.name != "perf_uncore" {
-                continue;
-            }
-            let comp = setup.papi.component(&status.name).unwrap();
-            for ev in comp.list_events() {
-                if ev.name.contains("BYTES") {
-                    println!("{},{},{},{}", system.name(), arch, status.name, ev.name);
-                }
-            }
-        }
-        // Also report the disabled path: the access-control story of the
-        // paper (Summit users cannot take the direct route).
-        for status in setup.papi.component_status() {
-            if !status.enabled && status.name == "perf_uncore" {
-                println!(
-                    "{},{},{},DISABLED ({})",
-                    system.name(),
-                    arch,
-                    status.name,
-                    status.reason.as_deref().unwrap_or("")
-                );
-            }
-        }
-        drop(machine);
-    }
-    repro_bench::obsreport::write_artifacts("table1");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("table1")
 }

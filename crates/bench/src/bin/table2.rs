@@ -1,32 +1,8 @@
 //! Table II: the supplemental performance events (GPU power via NVML,
 //! InfiniBand port traffic) available on a Summit node with a fabric.
 
-use std::sync::Arc;
+use std::process::ExitCode;
 
-use p9_memsim::SimMachine;
-use papi_sim::papi::setup_node;
-
-fn main() {
-    let machine = SimMachine::summit(1);
-    // A two-rail node NIC, as on Summit.
-    let nic = ib_sim::NodeNic::new(machine.arch().node.ib_ports);
-    let hcas: Vec<Arc<ib_sim::Hca>> = nic.hcas.clone();
-    let setup = setup_node(&machine, hcas);
-
-    println!("TABLE II: Supplemental Performance Events");
-    println!("hardware,component,event,units");
-    for status in setup.papi.component_status() {
-        if !status.enabled || (status.name != "nvml" && status.name != "infiniband") {
-            continue;
-        }
-        let comp = setup.papi.component(&status.name).unwrap();
-        let hardware = match status.name.as_str() {
-            "nvml" => "NVIDIA Tesla V100 GPU",
-            _ => "Mellanox ConnectX-5 Ex",
-        };
-        for ev in comp.list_events() {
-            println!("{hardware},{},{},{}", status.name, ev.name, ev.units);
-        }
-    }
-    repro_bench::obsreport::write_artifacts("table2");
+fn main() -> ExitCode {
+    repro_bench::experiments::run_bin("table2")
 }

@@ -7,7 +7,11 @@
 //! rate drops below 1000 fetch round-trips/s — an order of magnitude
 //! below what a loopback socket should sustain, so a failure means the
 //! server is serialising or wedging somewhere.
+//!
+//! This benchmark measures real wall-clock throughput, so unlike the
+//! figure binaries it is *not* part of the deterministic `repro` catalog.
 
+use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -21,7 +25,17 @@ const WARMUP: Duration = Duration::from_millis(200);
 const MEASURE: Duration = Duration::from_secs(2);
 const MIN_AGGREGATE_RTPS: f64 = 1000.0;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wire_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let machine = SimMachine::quiet(p9_arch::Machine::summit(), 7);
     let pmns = Pmns::for_machine(machine.arch());
     let sockets: Vec<_> = (0..machine.num_sockets())
@@ -29,37 +43,43 @@ fn main() {
         .collect();
     let server =
         PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
-            .expect("bind pmcd server");
+            .map_err(|e| format!("bind pmcd server: {e}"))?;
     let addr = server.local_addr();
 
     // Each round trip fetches all 16 nest metrics of socket 0 in one
     // batch, the way PAPI reads an event set.
-    let requests: Vec<_> = pmns
-        .children("")
-        .iter()
-        .map(|n| (pmns.lookup(n).unwrap(), pmns.instance_of_socket(0)))
-        .collect();
+    let mut requests = Vec::new();
+    for n in pmns.children("") {
+        let id = pmns
+            .lookup(n)
+            .ok_or_else(|| format!("PMNS child {n} has no metric id"))?;
+        requests.push((id, pmns.instance_of_socket(0)));
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
-    let counts: Vec<u64> = std::thread::scope(|scope| {
+    let counts: Vec<Result<u64, String>> = std::thread::scope(|scope| {
         let joins: Vec<_> = (0..CLIENTS)
             .map(|_| {
                 let stop = Arc::clone(&stop);
                 let requests = requests.clone();
-                scope.spawn(move || {
-                    let client = WireClient::connect(addr).expect("connect");
+                scope.spawn(move || -> Result<u64, String> {
+                    let client = WireClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
                     let warm_end = Instant::now() + WARMUP;
                     while Instant::now() < warm_end {
-                        client.pm_fetch(&requests).expect("warmup fetch");
+                        client
+                            .pm_fetch(&requests)
+                            .map_err(|e| format!("warmup fetch: {e}"))?;
                     }
                     let mut n = 0u64;
                     // relaxed-ok: a stop flag read in a hot loop; the
                     // only consequence of a stale read is one extra fetch.
                     while !stop.load(Ordering::Relaxed) {
-                        client.pm_fetch(&requests).expect("fetch");
+                        client
+                            .pm_fetch(&requests)
+                            .map_err(|e| format!("fetch: {e}"))?;
                         n += 1;
                     }
-                    n
+                    Ok(n)
                 })
             })
             .collect();
@@ -67,8 +87,15 @@ fn main() {
         // relaxed-ok: nothing is published through the flag; workers only
         // need to observe it eventually.
         stop.store(true, Ordering::Relaxed);
-        joins.into_iter().map(|j| j.join().unwrap()).collect()
+        joins
+            .into_iter()
+            .map(|j| match j.join() {
+                Ok(r) => r,
+                Err(_) => Err("client thread panicked".into()),
+            })
+            .collect()
     });
+    let counts = counts.into_iter().collect::<Result<Vec<u64>, String>>()?;
 
     let total: u64 = counts.iter().sum();
     let rtps = total as f64 / MEASURE.as_secs_f64();
@@ -85,7 +112,7 @@ fn main() {
     println!("  aggregate: {total} round-trips, {rtps:.0}/s");
 
     // Read the server's histogram back through the wire, like any client.
-    let probe = WireClient::connect(addr).expect("connect probe");
+    let probe = WireClient::connect(addr).map_err(|e| format!("connect probe: {e}"))?;
     let hist = [
         "pmcd.fetch.count",
         "pmcd.fetch.latency_ns.lt_1024",
@@ -97,16 +124,16 @@ fn main() {
         "pmcd.queue.depth",
         "pmcd.queue.shed",
     ];
-    let ids: Vec<_> = hist
-        .iter()
-        .map(|n| {
-            (
-                probe.pm_lookup_name(n).expect("self metric"),
-                pcp_sim::InstanceId(0),
-            )
-        })
-        .collect();
-    let vals = probe.pm_fetch(&ids).expect("self fetch");
+    let mut ids = Vec::new();
+    for n in hist {
+        let id = probe
+            .pm_lookup_name(n)
+            .map_err(|e| format!("self metric {n}: {e}"))?;
+        ids.push((id, pcp_sim::InstanceId(0)));
+    }
+    let vals = probe
+        .pm_fetch(&ids)
+        .map_err(|e| format!("self fetch: {e}"))?;
     println!("  server-side fetch latency histogram:");
     for (name, v) in hist.iter().zip(&vals) {
         println!("    {name:<42} {v}");
@@ -120,13 +147,15 @@ fn main() {
 
     write_bench_obs(&counts, &requests, &hist, &vals, rtps);
 
-    assert!(
-        rtps >= MIN_AGGREGATE_RTPS,
-        "aggregate {rtps:.0} fetch round-trips/s below the {MIN_AGGREGATE_RTPS} floor"
-    );
+    if rtps < MIN_AGGREGATE_RTPS {
+        return Err(format!(
+            "aggregate {rtps:.0} fetch round-trips/s below the {MIN_AGGREGATE_RTPS} floor"
+        ));
+    }
     println!("PASS: >= {MIN_AGGREGATE_RTPS} aggregate fetch round-trips/s");
 
     repro_bench::obsreport::write_artifacts("wire_bench");
+    Ok(())
 }
 
 /// Emit `results/BENCH_obs.json`: throughput plus the server's own
@@ -141,10 +170,10 @@ fn write_bench_obs(
 ) {
     let total: u64 = counts.iter().sum();
     let secs = MEASURE.as_secs_f64();
-    let shed = hist_vals[hist_names
+    let shed = hist_names
         .iter()
         .position(|n| *n == "pmcd.queue.shed")
-        .unwrap()];
+        .map_or(0, |i| hist_vals[i]);
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
     json.push_str(&format!("  \"batch_metrics\": {},\n", requests.len()));

@@ -7,8 +7,10 @@
 use p9_memsim::SimMachine;
 use papi_sim::papi::{setup_node, NodeSetup};
 
+pub mod experiments;
 pub mod figures;
 pub mod obsreport;
+pub mod runner;
 
 /// Minimal `--key value` / `--flag` argument parser (no external deps).
 #[derive(Debug, Default)]
@@ -68,6 +70,41 @@ impl Args {
     }
 }
 
+/// How large a sweep an experiment run covers.
+///
+/// `Quick` trims every sweep to the sizes that finish in seconds (the
+/// golden-figure regression suite and the CI `repro-quick` lane run
+/// here); `Default` matches the figure binaries' historical defaults;
+/// `Full` extends to the paper's largest problem sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    Quick,
+    Default,
+    Full,
+}
+
+impl Mode {
+    /// `--quick` / `--full` flags (default: `Default`). `--quick` wins
+    /// when both are given, matching the cheaper interpretation.
+    pub fn from_args(args: &Args) -> Mode {
+        if args.flag("quick") {
+            Mode::Quick
+        } else if args.flag("full") {
+            Mode::Full
+        } else {
+            Mode::Default
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Default => "default",
+            Mode::Full => "full",
+        }
+    }
+}
+
 /// Which of the paper's systems an experiment models.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum System {
@@ -108,10 +145,20 @@ pub fn node(system: System, seed: u64) -> (SimMachine, NodeSetup) {
 /// The GEMM problem-size sweep used by Figs. 2–4. `full` extends to the
 /// paper's largest sizes (slower).
 pub fn gemm_sizes(full: bool) -> Vec<u64> {
-    let mut v = vec![
-        64, 96, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1280, 1536,
-    ];
-    if full {
+    gemm_sizes_for(if full { Mode::Full } else { Mode::Default })
+}
+
+/// Mode-aware GEMM sweep. Quick keeps one point either side of the
+/// Eq. 3/4 cache-region bounds so the golden suite still exercises the
+/// crossover.
+pub fn gemm_sizes_for(mode: Mode) -> Vec<u64> {
+    let mut v = match mode {
+        Mode::Quick => return vec![64, 96, 128, 192, 256],
+        _ => vec![
+            64, 96, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1280, 1536,
+        ],
+    };
+    if mode == Mode::Full {
         v.extend([2048, 2560, 3072]);
     }
     v
@@ -120,10 +167,19 @@ pub fn gemm_sizes(full: bool) -> Vec<u64> {
 /// The capped-GEMV output-size sweep of Fig. 5 (square until the capping
 /// point at 1280, capped beyond).
 pub fn gemv_sizes(full: bool) -> Vec<u64> {
-    let mut v = vec![
-        128, 256, 512, 768, 1024, 1280, 2048, 4096, 8192, 16384, 32768, 65536,
-    ];
-    if full {
+    gemv_sizes_for(if full { Mode::Full } else { Mode::Default })
+}
+
+/// Mode-aware GEMV sweep. Quick still crosses the capping point at 1280
+/// and reaches the write-noise floor around 10⁴.
+pub fn gemv_sizes_for(mode: Mode) -> Vec<u64> {
+    let mut v = match mode {
+        Mode::Quick => return vec![128, 512, 1280, 4096, 16384],
+        _ => vec![
+            128, 256, 512, 768, 1024, 1280, 2048, 4096, 8192, 16384, 32768, 65536,
+        ],
+    };
+    if mode == Mode::Full {
         v.extend([131_072, 262_144]);
     }
     v
@@ -131,19 +187,53 @@ pub fn gemv_sizes(full: bool) -> Vec<u64> {
 
 /// The FFT problem sizes of Figs. 6–9 (divisible by the 2×4 grid).
 pub fn fft_sizes(full: bool) -> Vec<usize> {
-    let mut v = vec![112, 168, 224, 336, 448, 560, 672, 896];
-    if full {
+    fft_sizes_for(if full { Mode::Full } else { Mode::Default })
+}
+
+/// Mode-aware FFT sweep (sizes divisible by the 2×4 grid).
+pub fn fft_sizes_for(mode: Mode) -> Vec<usize> {
+    let mut v = match mode {
+        Mode::Quick => return vec![112, 168, 224],
+        _ => vec![112, 168, 224, 336, 448, 560, 672, 896],
+    };
+    if mode == Mode::Full {
         v.extend([1120, 1344]);
     }
     v
 }
 
+/// Derive the seed for one sweep point from the experiment's base seed,
+/// its tag and a point-local salt (section index × 10⁶ + problem size
+/// for the sweeps). Every point builds its own `SimMachine` from this,
+/// so points are independent of execution order and of each other —
+/// the property the parallel runner's determinism rests on. The mixer
+/// is a splitmix64 finalizer over an FNV-folded tag.
+pub fn point_seed(base: u64, tag: &str, salt: u64) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.wrapping_add(1));
+    for b in tag.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
 /// Print the standard experiment header.
 pub fn header(figure: &str, params: &[(&str, String)]) {
-    println!("# {figure}");
+    print!("{}", header_lines(figure, params));
+}
+
+/// The standard experiment header as a string (the runner composes
+/// experiment output from strings so parallel workers never interleave
+/// on stdout).
+pub fn header_lines(figure: &str, params: &[(&str, String)]) -> String {
+    let mut out = format!("# {figure}\n");
     for (k, v) in params {
-        println!("# {k} = {v}");
+        out.push_str(&format!("# {k} = {v}\n"));
     }
+    out
 }
 
 #[cfg(test)]

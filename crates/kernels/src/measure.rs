@@ -92,7 +92,9 @@ pub fn measure_traffic<K>(
 where
     K: Sync,
 {
-    assert!(cfg.reps >= 1);
+    if cfg.reps < 1 {
+        return Err(PapiError::Invalid("MeasureConfig.reps must be >= 1".into()));
+    }
     #[cfg(feature = "obs")]
     let _span = obs::span!("kernels.measure_traffic", cfg.reps as u64);
     let mut es = EventSet::new();

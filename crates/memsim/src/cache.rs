@@ -23,6 +23,27 @@ const TAG: u64 = DIRTY - 1;
 /// Sentinel for an empty way (all tag bits set; no valid sector).
 const EMPTY: u64 = TAG;
 
+/// Full-avalanche mix (splitmix64 finalizer) of a sector number, shared
+/// by every cache level: the hierarchy computes it once per access and
+/// passes it to the `*_mixed` probe variants, so an L1→L2→L3 probe chain
+/// hashes the address once instead of three times. A bare multiplicative
+/// hash is NOT enough here: a constant-stride sector progression s + k·d
+/// maps to the rotation sequence {k·frac(d·φ)}, and for strides where
+/// d·φ is close to a low-denominator rational the progression piles onto
+/// a few sets (e.g. the paper's N = 448 pencil stride of 112 sectors
+/// hits 112·φ ≈ 63/256). Real L3 slices XOR-fold the address for the
+/// same reason.
+#[inline(always)]
+pub fn sector_mix(sector: u64) -> u64 {
+    let mut h = sector;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h
+}
+
 /// Result of inserting a sector into the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Evicted {
@@ -80,29 +101,32 @@ impl SetAssocCache {
 
     #[inline(always)]
     fn set_of(&self, sector: u64) -> usize {
-        // Full-avalanche mix (splitmix64 finalizer) before the Lemire
-        // reduction. A bare multiplicative hash is NOT enough here: a
-        // constant-stride sector progression s + k·d maps to the rotation
-        // sequence {k·frac(d·φ)}, and for strides where d·φ is close to a
-        // low-denominator rational the progression piles onto a few sets
-        // (e.g. the paper's N = 448 pencil stride of 112 sectors hits
-        // 112·φ ≈ 63/256). Real L3 slices XOR-fold the address for the
-        // same reason.
-        let mut h = sector;
-        h ^= h >> 30;
-        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h ^= h >> 27;
-        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        (((h as u128) * (self.sets as u128)) >> 64) as usize
+        // [`sector_mix`] avalanche before the Lemire reduction (see its
+        // docs for why a bare multiplicative hash is not enough).
+        self.set_of_mix(sector_mix(sector))
+    }
+
+    /// Lemire-reduce a pre-computed [`sector_mix`] to this cache's set
+    /// count. Every level reduces the *same* mix to its own geometry.
+    #[inline(always)]
+    fn set_of_mix(&self, mix: u64) -> usize {
+        (((mix as u128) * (self.sets as u128)) >> 64) as usize
     }
 
     /// Look up `sector`; on hit, refresh LRU and optionally set the dirty
     /// bit. Returns whether the sector was present.
     #[inline]
     pub fn access(&mut self, sector: u64, mark_dirty: bool) -> bool {
+        self.access_mixed(sector, sector_mix(sector), mark_dirty)
+    }
+
+    /// [`Self::access`] with a caller-supplied [`sector_mix`] (the hot
+    /// probe chain hashes once and shares the mix across levels).
+    #[inline]
+    pub fn access_mixed(&mut self, sector: u64, mix: u64, mark_dirty: bool) -> bool {
         debug_assert!(sector < TAG);
-        let set = self.set_of(sector);
+        debug_assert_eq!(mix, sector_mix(sector));
+        let set = self.set_of_mix(mix);
         let base = set * self.ways;
         let ways = &mut self.slots[base..base + self.ways];
         if let Some(pos) = ways.iter().position(|&w| w & TAG == sector) {
@@ -119,7 +143,14 @@ impl SetAssocCache {
     /// Probe without touching LRU or dirty state.
     #[inline]
     pub fn contains(&self, sector: u64) -> bool {
-        let set = self.set_of(sector);
+        self.contains_mixed(sector, sector_mix(sector))
+    }
+
+    /// [`Self::contains`] with a caller-supplied [`sector_mix`].
+    #[inline]
+    pub fn contains_mixed(&self, sector: u64, mix: u64) -> bool {
+        debug_assert_eq!(mix, sector_mix(sector));
+        let set = self.set_of_mix(mix);
         let base = set * self.ways;
         self.slots[base..base + self.ways]
             .iter()
@@ -132,8 +163,15 @@ impl SetAssocCache {
     /// would create a duplicate.
     #[inline]
     pub fn insert(&mut self, sector: u64, dirty: bool) -> Evicted {
+        self.insert_mixed(sector, sector_mix(sector), dirty)
+    }
+
+    /// [`Self::insert`] with a caller-supplied [`sector_mix`].
+    #[inline]
+    pub fn insert_mixed(&mut self, sector: u64, mix: u64, dirty: bool) -> Evicted {
         debug_assert!(sector < TAG);
-        let set = self.set_of(sector);
+        debug_assert_eq!(mix, sector_mix(sector));
+        let set = self.set_of_mix(mix);
         let base = set * self.ways;
         let ways = &mut self.slots[base..base + self.ways];
         debug_assert!(
@@ -158,8 +196,15 @@ impl SetAssocCache {
     /// reuse working set out.
     #[inline]
     pub fn insert_mid(&mut self, sector: u64, dirty: bool) -> Evicted {
+        self.insert_mid_mixed(sector, sector_mix(sector), dirty)
+    }
+
+    /// [`Self::insert_mid`] with a caller-supplied [`sector_mix`].
+    #[inline]
+    pub fn insert_mid_mixed(&mut self, sector: u64, mix: u64, dirty: bool) -> Evicted {
         debug_assert!(sector < TAG);
-        let set = self.set_of(sector);
+        debug_assert_eq!(mix, sector_mix(sector));
+        let set = self.set_of_mix(mix);
         let base = set * self.ways;
         let ways = &mut self.slots[base..base + self.ways];
         debug_assert!(

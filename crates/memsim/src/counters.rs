@@ -116,6 +116,27 @@ impl NestCounters {
         obs::counter!("memsim.mba.sector_txns").inc();
     }
 
+    /// Record `n` 64-byte transactions on channel `ch` with one atomic
+    /// add — the batched equivalent of `n` [`Self::record_sector`] calls
+    /// whose sectors all map to `ch`. The core hot path accumulates a
+    /// sequential run's per-channel counts locally and flushes them here,
+    /// so a 64 KiB streaming read costs 8 RMWs instead of 1024.
+    #[inline]
+    pub fn record_sectors(&self, ch: usize, dir: Direction, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match dir {
+            Direction::Read => &self.read_bytes[ch],
+            Direction::Write => &self.write_bytes[ch],
+        }
+        // relaxed-ok: same independent-monotonic-statistic argument as
+        // record_sector; a batched add cannot lose counts either.
+        .fetch_add(n * SECTOR_BYTES, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        obs::counter!("memsim.mba.sector_txns").add(n);
+    }
+
     /// Record `bytes` of traffic spread evenly across channels (used by the
     /// background-noise process and by device DMA, where per-sector
     /// attribution is irrelevant).

@@ -17,13 +17,14 @@
 
 use std::sync::Arc;
 
-use crate::cache::{Evicted, SetAssocCache};
+use crate::cache::{sector_mix, Evicted, SetAssocCache};
 use crate::counters::{Direction, NestCounters};
 use crate::machine::{CoreEvent, CoreEventCounters};
 use crate::prefetch::{PrefetchEngine, PrefetchRequest};
 use crate::store::{StoreEngine, StoreOutcome};
 use crate::verify::ShadowLedger;
 use crate::SECTOR_BYTES;
+use p9_arch::MBA_CHANNELS;
 
 /// Cycle costs of the timing model. The numbers are round POWER9-flavoured
 /// figures; the reproduction depends on their order of magnitude (runtime
@@ -131,6 +132,17 @@ pub struct CoreSim {
     // Scratch buffers reused across calls to avoid per-access allocation.
     scratch_pf: PrefetchRequest,
     scratch_store: Vec<StoreOutcome>,
+    /// Hot-path shortcuts enabled (observationally identical to the
+    /// reference path; see [`CoreSim::set_fast_path`]). Defaults to on
+    /// unless the crate is built with the `slowpath-reference` feature.
+    fast_path: bool,
+    /// A bulk `load_seq`/`store_seq` call is in flight: memory-level
+    /// transactions accumulate in `batch_read`/`batch_write` and flush to
+    /// the shared [`NestCounters`] with one atomic add per channel at the
+    /// end of the call.
+    batching: bool,
+    batch_read: [u64; MBA_CHANNELS],
+    batch_write: [u64; MBA_CHANNELS],
 }
 
 impl CoreSim {
@@ -161,7 +173,26 @@ impl CoreSim {
             shadow: ShadowLedger::default(),
             scratch_pf: PrefetchRequest::default(),
             scratch_store: Vec::with_capacity(8),
+            fast_path: cfg!(not(feature = "slowpath-reference")),
+            batching: false,
+            batch_read: [0; MBA_CHANNELS],
+            batch_write: [0; MBA_CHANNELS],
         }
+    }
+
+    /// Toggle the hot-path shortcuts (shared set-hash across levels, the
+    /// locked-stream prefetch-engine shortcut, batched MBA accounting for
+    /// sequential runs). Both settings produce bit-identical simulation
+    /// results; the reference path exists so tests can assert exactly
+    /// that. Building with the `slowpath-reference` cargo feature flips
+    /// the default to off.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// Whether the hot-path shortcuts are enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
     }
 
     /// Re-size this core's L3 share (the slice-borrowing model). Resident
@@ -290,8 +321,12 @@ impl CoreSim {
         let first = base / SECTOR_BYTES;
         let last = (base + len - 1) / SECTOR_BYTES;
         self.stats.loads += (last - first) + 1;
+        let own_batch = self.begin_batch();
         for sector in first..=last {
             self.load_sector(sector);
+        }
+        if own_batch {
+            self.flush_batch();
         }
     }
 
@@ -317,12 +352,16 @@ impl CoreSim {
         // Emit chunk stores so the WCB sees full sectors fill up.
         let mut addr = base;
         let end = base + len;
+        let own_batch = self.begin_batch();
         while addr < end {
             let sector_end = (addr / SECTOR_BYTES + 1) * SECTOR_BYTES;
             let hi = end.min(sector_end);
             self.stats.stores += 1;
             self.store_sector(addr / SECTOR_BYTES, addr, hi);
             addr = hi;
+        }
+        if own_batch {
+            self.flush_batch();
         }
     }
 
@@ -412,10 +451,52 @@ impl CoreSim {
     // Internals
     // ------------------------------------------------------------------
 
+    /// Record one memory-level transaction on the nest counters. Inside a
+    /// bulk sequential call the per-channel count accumulates locally and
+    /// flushes in [`CoreSim::flush_batch`] — the deferred adds land on
+    /// exactly the channels [`NestCounters::record_sector`] would have
+    /// hit, so quiescent counter state is identical either way. The
+    /// shadow ledger always records per-sector.
+    #[inline]
+    fn record_tx(&mut self, sector: u64, dir: Direction) {
+        if self.batching {
+            let ch = NestCounters::channel_of(sector);
+            match dir {
+                Direction::Read => self.batch_read[ch] += 1,
+                Direction::Write => self.batch_write[ch] += 1,
+            }
+        } else {
+            self.counters.record_sector(sector, dir);
+        }
+        self.shadow.record(sector, dir);
+    }
+
+    /// Start batching MBA accounting for a bulk call. Returns whether
+    /// this call owns the batch (nested bulk calls keep the outer batch).
+    #[inline]
+    fn begin_batch(&mut self) -> bool {
+        if self.batching || !self.fast_path {
+            return false;
+        }
+        self.batching = true;
+        true
+    }
+
+    /// Flush the locally accumulated transaction counts: one atomic add
+    /// per touched channel and direction.
+    fn flush_batch(&mut self) {
+        self.batching = false;
+        for ch in 0..MBA_CHANNELS {
+            let r = std::mem::take(&mut self.batch_read[ch]);
+            self.counters.record_sectors(ch, Direction::Read, r);
+            let w = std::mem::take(&mut self.batch_write[ch]);
+            self.counters.record_sectors(ch, Direction::Write, w);
+        }
+    }
+
     #[inline]
     fn mem_read(&mut self, sector: u64, demand: bool) {
-        self.counters.record_sector(sector, Direction::Read);
-        self.shadow.record(sector, Direction::Read);
+        self.record_tx(sector, Direction::Read);
         self.cycles += self.costs.mem_bw;
         if demand {
             self.cycles += self.costs.mem_lat;
@@ -427,82 +508,107 @@ impl CoreSim {
 
     #[inline]
     fn mem_write(&mut self, sector: u64) {
-        self.counters.record_sector(sector, Direction::Write);
-        self.shadow.record(sector, Direction::Write);
+        self.record_tx(sector, Direction::Write);
         self.cycles += self.costs.mem_bw;
     }
 
     fn load_sector(&mut self, sector: u64) {
+        // Fast path: the access continues an already locked-on stream, so
+        // the prefetch-engine table scan reduces to an MRU-entry advance
+        // and at most one tail prefetch.
+        if self.fast_path {
+            if let Some(pf) = self.prefetch.fast_advance(sector) {
+                self.demand_load_probe(sector);
+                if self.policy.hw_prefetch {
+                    if let Some(p) = pf {
+                        self.prefetch_sector(p);
+                    }
+                }
+                return;
+            }
+        }
+
         let mut req = std::mem::take(&mut self.scratch_pf);
         self.prefetch.observe_load(sector, &mut req);
+        self.demand_load_probe(sector);
+        self.issue_prefetches(&req);
+        self.scratch_pf = req;
+    }
 
-        if self.l1.access(sector, false) {
+    /// The demand L1→L2→L3→memory probe chain of a load, sharing one
+    /// [`sector_mix`] across every level's set lookup.
+    #[inline]
+    fn demand_load_probe(&mut self, sector: u64) {
+        let mix = sector_mix(sector);
+        if self.l1.access_mixed(sector, mix, false) {
             self.stats.l1_hits += 1;
             self.cycles += self.costs.l1_hit;
-        } else if self.l2.access(sector, false) {
+        } else if self.l2.access_mixed(sector, mix, false) {
             self.stats.l2_hits += 1;
             self.cycles += self.costs.l2_hit;
-            self.install_l1(sector, false);
-        } else if self.l3.access(sector, false) {
+            self.install_l1_mixed(sector, mix, false);
+        } else if self.l3.access_mixed(sector, mix, false) {
             self.stats.l3_hits += 1;
             self.cycles += self.costs.l3_hit;
-            self.install_l1(sector, false);
+            self.install_l1_mixed(sector, mix, false);
         } else {
             self.mem_read(sector, true);
             // A pending WCB entry for this sector merges into the fetched
             // line (store-to-load forwarding at the line fill).
             self.stores.invalidate(sector);
-            self.fill(sector, false);
+            self.fill_mixed(sector, mix, false);
         }
-
-        self.issue_prefetches(&req);
-        self.scratch_pf = req;
     }
 
     /// Install a freshly fetched sector: into L3 (the inclusive outer
     /// level) and into L1 (where the demand hit it).
-    fn install_l3_then_l1(&mut self, sector: u64, dirty: bool) {
-        match self.l3.insert(sector, false) {
+    fn install_l3_then_l1(&mut self, sector: u64, mix: u64, dirty: bool) {
+        match self.l3.insert_mixed(sector, mix, false) {
             Evicted::None | Evicted::Clean(_) => {}
             Evicted::Dirty(v) => {
                 self.stats.writebacks += 1;
                 self.mem_write(v);
             }
         }
-        self.install_l1(sector, dirty);
+        self.install_l1_mixed(sector, mix, dirty);
     }
 
     #[inline]
-    fn fill(&mut self, sector: u64, dirty: bool) {
-        self.install_l3_then_l1(sector, dirty);
+    fn fill_mixed(&mut self, sector: u64, mix: u64, dirty: bool) {
+        self.install_l3_then_l1(sector, mix, dirty);
     }
 
     fn store_sector(&mut self, sector: u64, lo: u64, hi: u64) {
         // Stores train the stream detector exactly like loads: POWER9
         // detects store streams too, and a strided *store* stream also
         // suppresses bypass (Listing 8's `out` incurs a read per write).
-        let mut req = std::mem::take(&mut self.scratch_pf);
-        self.prefetch.observe_load(sector, &mut req);
         // Store streams do not issue read prefetch (the allocate path
-        // below performs its own fills).
-        req.sectors.clear();
-        self.scratch_pf = req;
+        // below performs its own fills), so a fast-path advance simply
+        // discards its tail-prefetch target.
+        let advanced = self.fast_path && self.prefetch.fast_advance(sector).is_some();
+        if !advanced {
+            let mut req = std::mem::take(&mut self.scratch_pf);
+            self.prefetch.observe_load(sector, &mut req);
+            req.sectors.clear();
+            self.scratch_pf = req;
+        }
 
-        if self.l1.access(sector, true) {
+        let mix = sector_mix(sector);
+        if self.l1.access_mixed(sector, mix, true) {
             self.stats.l1_hits += 1;
             self.cycles += self.costs.l1_hit;
             return;
         }
-        if self.l2.access(sector, true) {
+        if self.l2.access_mixed(sector, mix, true) {
             self.stats.l2_hits += 1;
             self.cycles += self.costs.l2_hit;
-            self.install_l1(sector, true);
+            self.install_l1_mixed(sector, mix, true);
             return;
         }
-        if self.l3.access(sector, true) {
+        if self.l3.access_mixed(sector, mix, true) {
             self.stats.l3_hits += 1;
             self.cycles += self.costs.l3_hit;
-            self.install_l1(sector, true);
+            self.install_l1_mixed(sector, mix, true);
             return;
         }
 
@@ -544,12 +650,13 @@ impl CoreSim {
                     // (the -fprefetch-loop-arrays speedup of Fig. 7b);
                     // without it the read-for-ownership is a demand miss.
                     self.mem_read(s, !self.sw_prefetch_stores);
+                    let mix = sector_mix(s);
                     // Store-allocated bursts are streaming traffic: insert
                     // at mid-LRU so they cannot flush the read working set.
                     match if self.policy.anti_pollution {
-                        self.l3.insert_mid(s, false)
+                        self.l3.insert_mid_mixed(s, mix, false)
                     } else {
-                        self.l3.insert(s, false)
+                        self.l3.insert_mixed(s, mix, false)
                     } {
                         Evicted::None | Evicted::Clean(_) => {}
                         Evicted::Dirty(v) => {
@@ -557,7 +664,7 @@ impl CoreSim {
                             self.mem_write(v);
                         }
                     }
-                    self.install_l1(s, true);
+                    self.install_l1_mixed(s, mix, true);
                 }
             }
         }
@@ -568,24 +675,31 @@ impl CoreSim {
             return;
         }
         for &p in &req.sectors {
-            if self.l1.contains(p) {
-                continue;
-            }
-            // Prefetch promotes resident sectors to L1 (latency hiding,
-            // no memory traffic) and fetches the rest from memory.
-            if self.l2.access(p, false) || self.l3.access(p, false) {
-                self.install_l1(p, false);
-                continue;
-            }
-            self.mem_read(p, false);
-            self.fill(p, false);
+            self.prefetch_sector(p);
         }
+    }
+
+    /// Issue one hardware prefetch for sector `p`.
+    #[inline]
+    fn prefetch_sector(&mut self, p: u64) {
+        let mix = sector_mix(p);
+        if self.l1.contains_mixed(p, mix) {
+            return;
+        }
+        // Prefetch promotes resident sectors to L1 (latency hiding,
+        // no memory traffic) and fetches the rest from memory.
+        if self.l2.access_mixed(p, mix, false) || self.l3.access_mixed(p, mix, false) {
+            self.install_l1_mixed(p, mix, false);
+            return;
+        }
+        self.mem_read(p, false);
+        self.fill_mixed(p, mix, false);
     }
 
     /// Put `sector` into L1. Clean victims are dropped (their L3 copy, if
     /// any, stays resident); dirty victims demote to L2.
-    fn install_l1(&mut self, sector: u64, dirty: bool) {
-        match self.l1.insert(sector, dirty) {
+    fn install_l1_mixed(&mut self, sector: u64, mix: u64, dirty: bool) {
+        match self.l1.insert_mixed(sector, mix, dirty) {
             Evicted::None | Evicted::Clean(_) => {}
             Evicted::Dirty(v) => self.demote_dirty_l2(v),
         }
@@ -775,6 +889,45 @@ mod tests {
         core.load_seq(0, 64 * 1024);
         let warm = core.cycles() - start;
         assert!(cold > warm, "cold {cold} <= warm {warm}");
+    }
+
+    #[test]
+    fn fast_path_is_observationally_identical() {
+        // Drive two cores — fast path on vs. reference — through the same
+        // mixed workload. Stats, cycles and per-channel counters must be
+        // bit-identical.
+        let run = |fast: bool| {
+            let (mut core, counters) = test_core(256 * 1024);
+            core.set_fast_path(fast);
+            // Sequential reads/writes (bulk + element-wise), strided reads
+            // (the GEMM B pattern), strided stores, reuse, and a second
+            // sweep over partially evicted data.
+            core.load_seq(0, 96 * 1024);
+            for i in 0..4096u64 {
+                core.store((1 << 22) + i * 8, 8);
+            }
+            for k in 0..2048u64 {
+                core.load((1 << 24) + k * 3 * SECTOR_BYTES, 8);
+            }
+            for i in 0..2048u64 {
+                core.store((1 << 26) + i * 256, 8);
+            }
+            core.load_seq(0, 96 * 1024);
+            core.set_software_prefetch(true);
+            for i in 0..2048u64 {
+                core.store((1 << 27) + i * 8, 8);
+            }
+            core.set_software_prefetch(false);
+            core.store_seq(1 << 28, 64 * 1024);
+            core.fence();
+            core.flush_caches();
+            (core.stats(), core.cycles(), counters.snapshot())
+        };
+        let (s_fast, c_fast, n_fast) = run(true);
+        let (s_slow, c_slow, n_slow) = run(false);
+        assert_eq!(s_fast, s_slow, "core stats diverge");
+        assert_eq!(c_fast, c_slow, "cycle counts diverge");
+        assert_eq!(n_fast, n_slow, "nest counters diverge");
     }
 
     #[test]

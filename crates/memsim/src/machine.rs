@@ -366,6 +366,18 @@ impl SimMachine {
         }
     }
 
+    /// Toggle the simulator's hot-path shortcuts on every core of every
+    /// socket (see [`CoreSim::set_fast_path`]). Either setting yields
+    /// bit-identical simulation output; the reference path exists so the
+    /// equivalence can be asserted by tests.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        for socket in &mut self.sockets {
+            for core in &mut socket.cores {
+                core.set_fast_path(enabled);
+            }
+        }
+    }
+
     /// Run `f(thread_index, core)` on `nthreads` cores of `socket`
     /// concurrently, then advance the socket clock by the slowest thread's
     /// cycle delta (plus background noise for the window).

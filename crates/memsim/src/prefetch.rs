@@ -141,6 +141,46 @@ impl PrefetchEngine {
         false
     }
 
+    /// Steady-state shortcut for the hierarchy's fast path: when the
+    /// access continues the most-recently-matched stream and that stream
+    /// is already confirmed with a saturated prefetch window, the full
+    /// [`Self::observe_load`] bookkeeping reduces to advancing the MRU
+    /// entry and issuing exactly one new tail prefetch.
+    ///
+    /// Returns `None` (with **no state mutated**) when the access is not
+    /// such a continuation — the caller must fall back to
+    /// [`Self::observe_load`], which handles it identically. Returns
+    /// `Some(pf)` when handled, where `pf` is the single prefetch target
+    /// to issue (`None` for same-sector reuse, a just-confirming stream,
+    /// or a negative target).
+    #[inline]
+    pub fn fast_advance(&mut self, sector: u64) -> Option<Option<u64>> {
+        let clock = self.clock + 1;
+        let s = &mut self.table[self.mru];
+        if !s.valid {
+            return None;
+        }
+        if s.last == sector {
+            s.touched = clock;
+            self.clock = clock;
+            return Some(None);
+        }
+        let delta = sector as i64 - s.last as i64;
+        if s.stride == 0
+            || delta != s.stride
+            || s.confirms < CONFIRMATIONS
+            || s.pf_ahead != PREFETCH_DEPTH as u8
+        {
+            return None;
+        }
+        s.last = sector;
+        s.touched = clock;
+        s.confirms = s.confirms.saturating_add(1);
+        let next = sector as i64 + s.stride * PREFETCH_DEPTH as i64;
+        self.clock = clock;
+        Some((next >= 0).then_some(next as u64))
+    }
+
     /// Observe a demand load of `sector`; returns prefetches to issue.
     ///
     /// Matching rules, in priority order:
@@ -343,6 +383,57 @@ mod tests {
         drive(&mut e, &[0, 64, 128, 192, 256]);
         e.reset();
         assert!(!e.stride_stream_active());
+    }
+
+    #[test]
+    fn fast_advance_is_equivalent_to_observe_load() {
+        // Drive two engines through an identical access pattern; one takes
+        // fast_advance whenever it applies. Per-access prefetch decisions
+        // and queryable stream state must match exactly.
+        let mut pat: Vec<u64> = Vec::new();
+        for i in 0..40 {
+            pat.push(1_000 + i); // sequential stream
+        }
+        for i in 0..40 {
+            pat.push((1 << 16) + i * 9); // stride-9 stream
+        }
+        for i in 0..10 {
+            pat.push(2_000 + i / 3); // same-sector repeats
+        }
+        for i in 0..30 {
+            pat.push(3_000 + i); // interleaved with...
+            pat.push((1 << 18) + i * 5); // ...a stride-5 stream
+        }
+        let mut x = 9_u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            pat.push(x >> 40); // pseudo-random noise
+        }
+        let mut slow = PrefetchEngine::new();
+        let mut fast = PrefetchEngine::new();
+        let mut req = PrefetchRequest::default();
+        for (i, &s) in pat.iter().enumerate() {
+            slow.observe_load(s, &mut req);
+            let expect = req.sectors.clone();
+            let got = match fast.fast_advance(s) {
+                Some(pf) => pf.into_iter().collect(),
+                None => {
+                    fast.observe_load(s, &mut req);
+                    req.sectors.clone()
+                }
+            };
+            assert_eq!(expect, got, "prefetches diverge at access {i} ({s})");
+            assert_eq!(
+                slow.stride_stream_active(),
+                fast.stride_stream_active(),
+                "stride-active diverges at access {i}"
+            );
+            assert_eq!(
+                slow.sequential_stream_at(s + 1),
+                fast.sequential_stream_at(s + 1),
+                "sequential-at diverges at access {i}"
+            );
+        }
     }
 
     #[test]
