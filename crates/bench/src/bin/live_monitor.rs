@@ -1,0 +1,196 @@
+//! Live-monitoring smoke test: stand up the full observable stack —
+//! networked PMCD, HTTP scrape sidecar, global metric registry — drive
+//! traced fetch traffic through it, and watch it through the same
+//! pipeline an operator would: two `/metrics` scrapes bracketing the
+//! traffic, derived rates, canonical threshold rules, and (with
+//! `--features obs`) the stitched cross-process trace artifact.
+//!
+//! Exits nonzero when anything a dashboard relies on is broken: a
+//! scrape that fails strict parsing, a counter that moves backwards, a
+//! fetch rate that stays at zero despite traffic, a canonical rule
+//! firing on a healthy run, or a traced fetch whose critical-path
+//! decomposition does not conserve the RTT. CI runs this as the
+//! `obs-live` job and uploads `results/TRACE_live_monitor.json`.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use obs::metrics::{ExportSemantics, Exported};
+use obs::openmetrics::{self, MetricKind, Value};
+use p9_memsim::SimMachine;
+use pcp_sim::{PmApi, Pmns};
+use pcp_wire::{PmcdServer, ScrapeListener, WireClient, WireConfig};
+use repro_bench::obsreport;
+
+/// Traced fetch round-trips between the two scrapes.
+const FETCHES: usize = 500;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("live_monitor: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    println!("# live monitor smoke test");
+    let machine = SimMachine::quiet(p9_arch::Machine::summit(), 7);
+    let pmns = Pmns::for_machine(machine.arch());
+    let sockets = (0..machine.num_sockets())
+        .map(|s| machine.socket_shared(s))
+        .collect();
+    let server =
+        PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
+            .map_err(|e| format!("bind pmcd server: {e}"))?;
+    let scrape = ScrapeListener::bind("127.0.0.1:0", &server)
+        .map_err(|e| format!("bind scrape listener: {e}"))?;
+    println!("pmcd:   {}", server.local_addr());
+    println!("scrape: http://{}/metrics", scrape.local_addr());
+
+    let id = pmns
+        .lookup("perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value")
+        .ok_or("nest metric missing from the PMNS")?;
+    let client =
+        WireClient::connect(server.local_addr()).map_err(|e| format!("connect client: {e}"))?;
+
+    drop(obs::drain());
+    let (t0, first) = scrape_once(scrape.local_addr())?;
+    for _ in 0..FETCHES {
+        client
+            .pm_fetch(&[(id, pmns.instance_of_socket(0))])
+            .map_err(|e| format!("fetch: {e}"))?;
+    }
+    let (t1, second) = scrape_once(scrape.local_addr())?;
+    if t1 <= t0 {
+        return Err(format!("scrape timestamps not increasing: {t0} -> {t1}"));
+    }
+
+    // The canonical rules (DESIGN.md §11) must stay silent on a healthy
+    // run; the monitor watches the registry export, where their metric
+    // names live unsanitized.
+    let mut rules = obs::Monitor::new(4, obsreport::canonical_rules());
+    rules.tick(t0, &obs::registry().export());
+    rules.tick(t1, &obs::registry().export());
+    if !rules.alerts().is_empty() {
+        return Err(format!(
+            "canonical rules fired on a healthy run: {:?}",
+            rules.alerts()
+        ));
+    }
+
+    // The scraped view: monotone counters, and a fetch rate that saw
+    // our traffic.
+    let mut monitor = obs::Monitor::new(4, Vec::new());
+    monitor.tick(t0, &first);
+    monitor.tick(t1, &second);
+    for a in &first {
+        if a.semantics != ExportSemantics::Counter {
+            continue;
+        }
+        let b = second
+            .iter()
+            .find(|s| s.name == a.name)
+            .ok_or_else(|| format!("counter {} vanished between scrapes", a.name))?;
+        if b.value < a.value {
+            return Err(format!(
+                "counter {} went backwards: {} -> {}",
+                a.name, a.value, b.value
+            ));
+        }
+    }
+    let derived = monitor.derived();
+    let fetch_rate = derived
+        .iter()
+        .find(|(n, _)| n == "pmcd_fetch_count:rate")
+        .map(|(_, r)| *r)
+        .ok_or("no derived fetch rate")?;
+    if fetch_rate <= 0.0 {
+        return Err(format!("{FETCHES} fetches derived a rate of {fetch_rate}"));
+    }
+    println!(
+        "scrapes:       2 ({} samples each, strictly parsed)",
+        first.len()
+    );
+    println!("fetch rate:    {fetch_rate:.0}/s over the scrape window");
+    println!("derived rates: {} (all counters monotone)", derived.len());
+    println!("alerts:        0 (canonical rules silent)");
+
+    // Stitched trace artifact for CI. With the obs feature the rings
+    // hold both sides of every fetch; check conservation before writing.
+    #[cfg(feature = "obs")]
+    {
+        let events = obs::drain();
+        let ids = obs::stitch::trace_ids(&events);
+        if ids.len() < FETCHES {
+            return Err(format!("stitched {} of {FETCHES} fetches", ids.len()));
+        }
+        let mean = obs::stitch::mean_critical_path(&events).ok_or("no mean critical path")?;
+        if mean.total() != mean.rtt_ns {
+            return Err(format!("decomposition does not conserve RTT: {mean:?}"));
+        }
+        println!(
+            "stitched:      {} round trips, mean RTT {} ns, components conserve exactly",
+            ids.len(),
+            mean.rtt_ns
+        );
+        let trace = obs::chrome::chrome_trace_json(&events);
+        std::fs::create_dir_all("results").map_err(|e| format!("mkdir results: {e}"))?;
+        std::fs::write("results/TRACE_live_monitor.json", &trace)
+            .map_err(|e| format!("write trace: {e}"))?;
+        obs::chrome::parse_chrome_trace(&trace).map_err(|e| format!("trace invalid: {e}"))?;
+        println!(
+            "trace:         results/TRACE_live_monitor.json ({} events)",
+            events.len()
+        );
+    }
+    #[cfg(not(feature = "obs"))]
+    println!("trace:         (build with --features obs for the stitched artifact)");
+
+    println!("PASS: live monitoring pipeline healthy");
+    Ok(())
+}
+
+/// One HTTP scrape of our own sidecar, strict-parsed and flattened to
+/// `(scrape_ts_ns, snapshot)` for the monitor.
+fn scrape_once(addr: std::net::SocketAddr) -> Result<(u64, Vec<Exported>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect scrape: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .map_err(|e| format!("send scrape: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read scrape: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("scrape response has no header/body split")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "scrape refused: {}",
+            head.lines().next().unwrap_or("")
+        ));
+    }
+    let doc = openmetrics::parse(body).map_err(|e| format!("scrape document rejected: {e}"))?;
+    let ts = doc
+        .scrape_ts_ns
+        .ok_or("scrape document lacks its timestamp")?;
+    let mut snapshot = Vec::with_capacity(doc.samples.len());
+    for s in doc.samples {
+        let Value::Int(value) = s.value else {
+            return Err(format!("non-integral serverside sample {}", s.name));
+        };
+        snapshot.push(Exported {
+            name: s.name,
+            value,
+            semantics: match s.kind {
+                MetricKind::Counter => ExportSemantics::Counter,
+                MetricKind::Gauge => ExportSemantics::Instant,
+            },
+        });
+    }
+    Ok((ts, snapshot))
+}

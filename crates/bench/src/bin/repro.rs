@@ -24,9 +24,10 @@
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use repro_bench::runner::{self, json_escape, RunReport, RunnerError};
-use repro_bench::{experiments, Args, Mode};
+use repro_bench::{experiments, obsreport, Args, Mode};
 
 /// Wall-time regression tolerance of `--check-baseline`.
 const BASELINE_SLACK: f64 = 1.25;
@@ -92,7 +93,34 @@ fn run() -> Result<(), RunnerError> {
         workers
     );
 
+    // Live monitoring of the run itself (DESIGN.md §11): snapshot the
+    // global registry before and after, derive run-window rates, and
+    // evaluate the canonical threshold rules. A clean catalog execution
+    // must never fire one. The tick timestamps are wall-clock — like
+    // wall_seconds they feed only the bench artifact, never the
+    // deterministic experiment outputs.
+    let mut monitor = obs::Monitor::new(8, obsreport::canonical_rules());
+    let live_t0 = Instant::now();
+    monitor.tick(1, &obs::registry().export());
+
     let report = runner::run_experiments(exps, workers);
+
+    monitor.tick(
+        1 + live_t0.elapsed().as_nanos().max(1) as u64,
+        &obs::registry().export(),
+    );
+    for alert in monitor.alerts() {
+        eprintln!(
+            "repro: ALERT {}: {} = {:.2} > {:.2}",
+            alert.rule, alert.metric, alert.observed, alert.threshold
+        );
+    }
+    eprintln!(
+        "repro: live monitor tracked {} series, {} derived rates, {} alerts",
+        monitor.store().len(),
+        monitor.derived().len(),
+        monitor.alerts().len()
+    );
 
     let outdir = args.get_or("out", "results");
     let outdir = Path::new(&outdir);
@@ -122,7 +150,8 @@ fn run() -> Result<(), RunnerError> {
     }
 
     let bench_path = outdir.join("BENCH_repro.json");
-    fs::write(&bench_path, bench_json(&report, mode)).map_err(|e| io_err(&bench_path, e))?;
+    fs::write(&bench_path, bench_json(&report, mode, &monitor))
+        .map_err(|e| io_err(&bench_path, e))?;
 
     print_summary(&report);
     println!("wrote {}", bench_path.display());
@@ -171,7 +200,7 @@ fn print_summary(report: &RunReport) {
     );
 }
 
-fn bench_json(report: &RunReport, mode: Mode) -> String {
+fn bench_json(report: &RunReport, mode: Mode, monitor: &obs::Monitor) -> String {
     let wall = report.wall_seconds.max(1e-9);
     let busy: f64 = report.experiments.iter().map(|e| e.busy_seconds).sum();
     let mut out = String::from("{\n");
@@ -194,6 +223,15 @@ fn bench_json(report: &RunReport, mode: Mode) -> String {
         "  \"sim_bytes_per_sec\": {:.3e},\n",
         report.total_sim_bytes() as f64 / wall
     ));
+    out.push_str(&format!("  \"live_series\": {},\n", monitor.store().len()));
+    out.push_str(&format!("  \"live_alerts\": {},\n", monitor.alerts().len()));
+    let derived = monitor.derived();
+    out.push_str("  \"live_rates_per_s\": {\n");
+    for (i, (name, r)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {r:.3}{comma}\n", json_escape(name)));
+    }
+    out.push_str("  },\n");
     out.push_str("  \"experiments\": [\n");
     for (i, er) in report.experiments.iter().enumerate() {
         let comma = if i + 1 < report.experiments.len() {

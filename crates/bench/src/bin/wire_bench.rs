@@ -10,15 +10,25 @@
 //!
 //! This benchmark measures real wall-clock throughput, so unlike the
 //! figure binaries it is *not* part of the deterministic `repro` catalog.
+//!
+//! The run also monitors itself: it binds a [`ScrapeListener`] next to
+//! the PDU server, scrapes its own `/metrics` endpoint at the start and
+//! end of the measure window, strict-parses both documents, and derives
+//! per-second rates from the two snapshots through [`obs::Monitor`] —
+//! the same pipeline an external Prometheus would run against us.
 
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use obs::metrics::{ExportSemantics, Exported};
+use obs::openmetrics::{self, MetricKind, Value};
 use p9_memsim::SimMachine;
 use pcp_sim::{PmApi, Pmns};
-use pcp_wire::{PmcdServer, WireClient, WireConfig};
+use pcp_wire::{PmcdServer, ScrapeListener, WireClient, WireConfig};
 
 const CLIENTS: usize = 8;
 const WARMUP: Duration = Duration::from_millis(200);
@@ -45,6 +55,8 @@ fn run() -> Result<(), String> {
         PmcdServer::bind_system("127.0.0.1:0", pmns.clone(), sockets, WireConfig::default())
             .map_err(|e| format!("bind pmcd server: {e}"))?;
     let addr = server.local_addr();
+    let scrape = ScrapeListener::bind("127.0.0.1:0", &server)
+        .map_err(|e| format!("bind scrape listener: {e}"))?;
 
     // Each round trip fetches all 16 nest metrics of socket 0 in one
     // batch, the way PAPI reads an event set.
@@ -57,6 +69,7 @@ fn run() -> Result<(), String> {
     }
 
     let stop = Arc::new(AtomicBool::new(false));
+    let mut scrapes: Vec<(u64, Vec<Exported>)> = Vec::new();
     let counts: Vec<Result<u64, String>> = std::thread::scope(|scope| {
         let joins: Vec<_> = (0..CLIENTS)
             .map(|_| {
@@ -83,10 +96,19 @@ fn run() -> Result<(), String> {
                 })
             })
             .collect();
-        std::thread::sleep(WARMUP + MEASURE);
+        std::thread::sleep(WARMUP);
+        // Bracket the measure window with two self-scrapes over HTTP:
+        // the benchmark is its own first monitoring client.
+        let t0 = Instant::now();
+        let first = self_scrape(scrape.local_addr());
+        std::thread::sleep(MEASURE.saturating_sub(t0.elapsed()));
+        let second = self_scrape(scrape.local_addr());
         // relaxed-ok: nothing is published through the flag; workers only
         // need to observe it eventually.
         stop.store(true, Ordering::Relaxed);
+        if let (Ok(a), Ok(b)) = (first, second) {
+            scrapes = vec![a, b];
+        }
         joins
             .into_iter()
             .map(|j| match j.join() {
@@ -145,7 +167,41 @@ fn run() -> Result<(), String> {
         );
     }
 
-    write_bench_obs(&counts, &requests, &hist, &vals, rtps);
+    // The two bracketing self-scrapes give every exported metric a
+    // two-sample window; the Monitor derives per-second rates from them
+    // exactly as an external Prometheus would, and its shed rule
+    // cross-checks the floor gate from the server's own vantage point.
+    let mut derived: Vec<(String, f64)> = Vec::new();
+    match scrapes.as_slice() {
+        [(t0, first), (t1, second)] => {
+            let mut monitor = obs::Monitor::new(
+                4,
+                vec![obs::Rule {
+                    name: "alert.scrape.shedding",
+                    metric: "pmcd_obs_wire_scrape_shed",
+                    predicate: obs::Predicate::RateAbove(0.0),
+                }],
+            );
+            monitor.tick(*t0, first);
+            monitor.tick(*t1, second);
+            println!("  self-scrape derived rates over the measure window:");
+            for (name, r) in monitor.derived() {
+                if r > 0.0 {
+                    println!("    {name:<42} {r:>10.1}/s");
+                }
+            }
+            for a in monitor.alerts() {
+                println!(
+                    "  ALERT {}: {} = {:.2} > {:.2}",
+                    a.rule, a.metric, a.observed, a.threshold
+                );
+            }
+            derived = monitor.derived();
+        }
+        _ => println!("  (self-scrape failed; skipping derived rates)"),
+    }
+
+    write_bench_obs(&counts, &requests, &hist, &vals, rtps, &derived);
 
     if rtps < MIN_AGGREGATE_RTPS {
         return Err(format!(
@@ -158,15 +214,61 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+/// One HTTP self-scrape: GET /metrics from our own sidecar, strict-parse
+/// the document, and flatten it to `(scrape_ts_ns, registry snapshot)`
+/// so an [`obs::Monitor`] can consume it like a local export. Float
+/// gauges cannot happen here (every serverside sample is integral), so
+/// any would be a protocol bug worth failing on.
+fn self_scrape(addr: std::net::SocketAddr) -> Result<(u64, Vec<Exported>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect scrape: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .map_err(|e| format!("send scrape: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read scrape: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("scrape response has no header/body split")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "scrape refused: {}",
+            head.lines().next().unwrap_or("")
+        ));
+    }
+    let doc = openmetrics::parse(body).map_err(|e| format!("scrape document rejected: {e}"))?;
+    let ts = doc
+        .scrape_ts_ns
+        .ok_or("scrape document lacks its timestamp")?;
+    let mut snapshot = Vec::with_capacity(doc.samples.len());
+    for s in doc.samples {
+        let Value::Int(value) = s.value else {
+            return Err(format!("non-integral serverside sample {}", s.name));
+        };
+        snapshot.push(Exported {
+            name: s.name,
+            value,
+            semantics: match s.kind {
+                MetricKind::Counter => ExportSemantics::Counter,
+                MetricKind::Gauge => ExportSemantics::Instant,
+            },
+        });
+    }
+    Ok((ts, snapshot))
+}
+
 /// Emit `results/BENCH_obs.json`: throughput plus the server's own
 /// queue-depth/shed-rate and fetch-latency self-metrics, as read back
-/// over the wire. Hand-rolled JSON — the workspace has no serde.
+/// over the wire, and the rates derived from the bracketing
+/// self-scrapes. Hand-rolled JSON — the workspace has no serde.
 fn write_bench_obs(
     counts: &[u64],
     requests: &[(pcp_sim::MetricId, pcp_sim::InstanceId)],
     hist_names: &[&str],
     hist_vals: &[u64],
     rtps: f64,
+    derived: &[(String, f64)],
 ) {
     let total: u64 = counts.iter().sum();
     let secs = MEASURE.as_secs_f64();
@@ -193,6 +295,12 @@ fn write_bench_obs(
     for (i, (name, v)) in hist_names.iter().zip(hist_vals).enumerate() {
         let comma = if i + 1 < hist_names.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {v}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"self_scrape_rates_per_s\": {\n");
+    for (i, (name, r)) in derived.iter().enumerate() {
+        let comma = if i + 1 < derived.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {r:.3}{comma}\n"));
     }
     json.push_str("  }\n}\n");
     if std::fs::create_dir_all("results").is_ok()

@@ -40,6 +40,25 @@ pub fn print_dashboard() {
     eprint!("{}", obs::dashboard::render(obs::registry()));
 }
 
+/// The canonical live-monitoring rules (DESIGN.md §11), shared by the
+/// repro runner, the live-monitor smoke binary and the golden-figure
+/// suite: a clean run must never shed scrape requests nor let the
+/// server-side fetch p99 cross one second.
+pub fn canonical_rules() -> Vec<obs::Rule> {
+    vec![
+        obs::Rule {
+            name: "alert.queue.shedding",
+            metric: "wire.scrape.shed",
+            predicate: obs::Predicate::RateAbove(0.0),
+        },
+        obs::Rule {
+            name: "alert.fetch.p99_over_budget",
+            metric: "pmcd.fetch.latency_ns.p99",
+            predicate: obs::Predicate::ValueAbove(1_000_000_000),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

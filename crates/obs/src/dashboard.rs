@@ -25,13 +25,13 @@ pub fn render(reg: &Registry) -> String {
             }
             EntrySnapshot::Histogram(h) => {
                 out.push_str(&format!(
-                    "{:<44} {:>16}  mean={:.0} p50={} p99={} max={} |{}|\n",
+                    "{:<44} {:>16}  mean={:>7} p50={:>7} p99={:>7} max={:>7} |{}|\n",
                     name,
                     h.count(),
-                    h.mean(),
-                    h.quantile(0.50),
-                    h.quantile(0.99),
-                    h.max_bound(),
+                    humanize_ns(h.mean()),
+                    humanize_ns(h.quantile(0.50) as f64),
+                    humanize_ns(h.quantile(0.99) as f64),
+                    humanize_ns(h.max_bound() as f64),
                     sparkline(&h)
                 ));
             }
@@ -60,6 +60,21 @@ fn sparkline(h: &HistSnapshot) -> String {
         out.push(BAR_GLYPHS[(level as usize).min(BAR_GLYPHS.len() - 1)] as char);
     }
     out
+}
+
+/// Human-readable nanosecond quantity for table cells: `873ns`,
+/// `8.2us`, `1.0ms`, `2.1s` — the same unit ladder as
+/// [`bucket_label`], with one decimal once a unit divides the value.
+pub fn humanize_ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}us", v / 1e3)
+    } else {
+        format!("{v:.0}ns")
+    }
 }
 
 /// Human label for a bucket's upper bound, for axis annotations.
@@ -100,6 +115,44 @@ mod tests {
         assert!(frame.contains("gauge"));
         assert!(frame.contains("mean="));
         assert!(frame.contains('|'), "histogram sparkline present");
+        // Histogram cells are humanized, not raw nanosecond dumps:
+        // mean 202160 ns renders as 202.2us, the p99/max bucket bound
+        // 1048575 ns as 1.0ms, and no raw bound leaks through.
+        assert!(frame.contains("mean=202.2us"), "{frame}");
+        assert!(frame.contains("p50=  8.2us"), "{frame}");
+        assert!(frame.contains("max=  1.0ms"), "{frame}");
+        assert!(!frame.contains("1048575"), "{frame}");
+    }
+
+    #[test]
+    fn histogram_quantile_columns_align() {
+        let reg = Registry::new();
+        reg.histogram("dash.a").record(150);
+        let h = reg.histogram("dash.b");
+        h.record(3_000_000_000);
+        let frame = render(&reg);
+        let col = |needle: &str| {
+            frame
+                .lines()
+                .filter_map(|l| l.find(needle))
+                .collect::<Vec<_>>()
+        };
+        // Both histogram rows put every field at the same column, even
+        // though their magnitudes differ by seven orders.
+        for needle in ["mean=", "p50=", "p99=", "max="] {
+            let cols = col(needle);
+            assert_eq!(cols.len(), 2, "{needle} rows: {frame}");
+            assert_eq!(cols[0], cols[1], "{needle} misaligned: {frame}");
+        }
+    }
+
+    #[test]
+    fn humanize_ns_scales_units() {
+        assert_eq!(humanize_ns(0.0), "0ns");
+        assert_eq!(humanize_ns(873.0), "873ns");
+        assert_eq!(humanize_ns(5_400.0), "5.4us");
+        assert_eq!(humanize_ns(12_000_000.0), "12.0ms");
+        assert_eq!(humanize_ns(3.1e9), "3.1s");
     }
 
     #[test]

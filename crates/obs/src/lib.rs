@@ -16,6 +16,12 @@
 //! * **Exporters**: Chrome `trace_event` JSON ([`chrome`]) for
 //!   `chrome://tracing`/Perfetto, folded stacks ([`flame`]) for
 //!   flamegraphs, and a plain-text dashboard ([`dashboard`]).
+//! * **Live monitoring** ([`series`], [`derive`], [`openmetrics`],
+//!   [`stitch`]): ring-buffered time series fed by registry snapshots,
+//!   `pmie`-style rate/delta/ewma derivations and threshold rules,
+//!   OpenMetrics text exposition with a strict round-trip parser, and
+//!   critical-path decomposition over trace-id-stitched client/server
+//!   spans (DESIGN.md §11).
 //!
 //! ## Instrumenting code
 //!
@@ -40,12 +46,19 @@
 pub mod chrome;
 pub mod clock;
 pub mod dashboard;
+pub mod derive;
 pub mod flame;
 pub mod metrics;
+pub mod openmetrics;
+pub mod series;
+pub mod stitch;
 pub mod trace;
 
+pub use derive::{Alert, Monitor, Predicate, Rule};
 pub use metrics::{global as registry, Counter, Gauge, HistSnapshot, Histogram, Registry};
-pub use trace::{drain, dropped_records, Kind, SpanEvent, SpanGuard};
+pub use series::{Series, SeriesStore};
+pub use stitch::{critical_path, CriticalPath};
+pub use trace::{drain, dropped_records, next_trace_id, Kind, SpanEvent, SpanGuard};
 
 /// Open a span for the current scope: `let _span = obs::span!("label")`
 /// (optionally `span!("label", arg)` with a `u64` argument). The span

@@ -1,0 +1,377 @@
+//! OpenMetrics-style text exposition: renderer and strict parser.
+//!
+//! The grammar (DESIGN.md §11) is a deliberately small subset of the
+//! OpenMetrics text format — exactly what a Prometheus scraper needs
+//! and nothing it would choke on:
+//!
+//! ```text
+//! exposition  = [ts-line] *block eof-line
+//! ts-line     = "# scrape_ts_ns " uint LF
+//! block       = "# TYPE " name " " ("counter" | "gauge") LF sample
+//! sample      = name "_total " uint LF        ; counter
+//!             | name " " (uint | float) LF    ; gauge
+//! eof-line    = "# EOF" LF
+//! name        = [a-zA-Z_:][a-zA-Z0-9_:]*
+//! ```
+//!
+//! Every sample line is preceded by its own `# TYPE` line, names are
+//! unique, and nothing else may appear. [`parse`] enforces all of it,
+//! so `parse(render(x)) == x` round-trips exactly — including `u64`
+//! values beyond 2^53, which stay integers end to end. The single
+//! timestamp lives in one header comment line; [`strip_timestamp`]
+//! removes it for the byte-identity parity tests ("equal modulo
+//! timestamps").
+
+use crate::metrics::{ExportSemantics, Exported};
+
+/// Exposition type of one metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone; rendered with the `_total` sample suffix.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+}
+
+/// A sample value: integers survive exactly, derived rates are floats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Exact unsigned integer (counters, gauges from the registry).
+    Int(u64),
+    /// Derived scalar (e.g. a rate), finite.
+    Float(f64),
+}
+
+/// One metric in an exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OmSample {
+    /// Sanitized metric name (see [`sanitize`]).
+    pub name: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Current value.
+    pub value: Value,
+}
+
+/// A parsed exposition document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exposition {
+    /// The `# scrape_ts_ns` header, when present.
+    pub scrape_ts_ns: Option<u64>,
+    /// Samples in document order.
+    pub samples: Vec<OmSample>,
+}
+
+/// Map a dotted registry name onto the exposition name charset:
+/// invalid characters become `_`, and a leading digit gains a `_`
+/// prefix. Colons (used by derived `:rate` names) are kept — they are
+/// legal in Prometheus names.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Convert flattened registry scalars to exposition samples:
+/// counter semantics become counters, instants become gauges.
+pub fn from_exported(exported: &[Exported]) -> Vec<OmSample> {
+    exported
+        .iter()
+        .map(|e| OmSample {
+            name: sanitize(&e.name),
+            kind: match e.semantics {
+                ExportSemantics::Counter => MetricKind::Counter,
+                ExportSemantics::Instant => MetricKind::Gauge,
+            },
+            value: Value::Int(e.value),
+        })
+        .collect()
+}
+
+fn push_value(out: &mut String, v: Value) {
+    match v {
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            let f = if f.is_finite() { f } else { 0.0 };
+            let text = format!("{f}");
+            out.push_str(&text);
+            // Keep floats distinguishable from integers so the parse
+            // side round-trips the Value variant exactly.
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+/// Render samples as exposition text, with an optional scrape
+/// timestamp header line.
+pub fn render(samples: &[OmSample], scrape_ts_ns: Option<u64>) -> String {
+    let mut out = String::with_capacity(64 * samples.len() + 32);
+    if let Some(ts) = scrape_ts_ns {
+        out.push_str("# scrape_ts_ns ");
+        out.push_str(&ts.to_string());
+        out.push('\n');
+    }
+    for s in samples {
+        out.push_str("# TYPE ");
+        out.push_str(&s.name);
+        match s.kind {
+            MetricKind::Counter => {
+                out.push_str(" counter\n");
+                out.push_str(&s.name);
+                out.push_str("_total ");
+            }
+            MetricKind::Gauge => {
+                out.push_str(" gauge\n");
+                out.push_str(&s.name);
+                out.push(' ');
+            }
+        }
+        push_value(&mut out, s.value);
+        out.push('\n');
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Remove the `# scrape_ts_ns` header line, for "equal modulo
+/// timestamps" comparisons.
+pub fn strip_timestamp(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.starts_with("# scrape_ts_ns "))
+        .fold(String::with_capacity(text.len()), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        })
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit()) {
+        return text
+            .parse::<u64>()
+            .map(Value::Int)
+            .map_err(|e| format!("integer value '{text}': {e}"));
+    }
+    match text.parse::<f64>() {
+        Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+        Ok(_) => Err(format!("non-finite value '{text}'")),
+        Err(e) => Err(format!("bad value '{text}': {e}")),
+    }
+}
+
+/// Strictly parse an exposition document. Every deviation from the
+/// grammar — missing `# EOF`, a sample without its `# TYPE`, a name
+/// mismatch, a counter with a float value, duplicate names, trailing
+/// content — is an error naming the offending line.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    if !text.ends_with('\n') {
+        return Err("document does not end with a newline".into());
+    }
+    let mut lines = text.lines().enumerate().peekable();
+    let mut scrape_ts_ns = None;
+    if let Some((_, l)) = lines.peek() {
+        if let Some(rest) = l.strip_prefix("# scrape_ts_ns ") {
+            scrape_ts_ns = Some(
+                rest.parse::<u64>()
+                    .map_err(|e| format!("line 1: bad scrape_ts_ns '{rest}': {e}"))?,
+            );
+            lines.next();
+        }
+    }
+
+    let mut samples: Vec<OmSample> = Vec::new();
+    let mut saw_eof = false;
+    while let Some((i, line)) = lines.next() {
+        let ln = i + 1;
+        if line == "# EOF" {
+            if lines.next().is_some() {
+                return Err(format!("line {}: content after # EOF", ln + 1));
+            }
+            saw_eof = true;
+            break;
+        }
+        let Some(type_decl) = line.strip_prefix("# TYPE ") else {
+            return Err(format!(
+                "line {ln}: expected '# TYPE' or '# EOF', got '{line}'"
+            ));
+        };
+        let (name, kind) = match type_decl.rsplit_once(' ') {
+            Some((n, "counter")) => (n, MetricKind::Counter),
+            Some((n, "gauge")) => (n, MetricKind::Gauge),
+            _ => return Err(format!("line {ln}: bad TYPE declaration '{type_decl}'")),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {ln}: invalid metric name '{name}'"));
+        }
+        if samples.iter().any(|s| s.name == name) {
+            return Err(format!("line {ln}: duplicate metric '{name}'"));
+        }
+        let Some((_, sample_line)) = lines.next() else {
+            return Err(format!("line {ln}: TYPE '{name}' has no sample line"));
+        };
+        let sln = ln + 1;
+        let Some((sample_name, value_text)) = sample_line.split_once(' ') else {
+            return Err(format!("line {sln}: bad sample line '{sample_line}'"));
+        };
+        let expected = match kind {
+            MetricKind::Counter => format!("{name}_total"),
+            MetricKind::Gauge => name.to_string(),
+        };
+        if sample_name != expected {
+            return Err(format!(
+                "line {sln}: sample name '{sample_name}' does not match TYPE '{name}'"
+            ));
+        }
+        let value = parse_value(value_text).map_err(|e| format!("line {sln}: {e}"))?;
+        if kind == MetricKind::Counter && !matches!(value, Value::Int(_)) {
+            return Err(format!(
+                "line {sln}: counter '{name}' has non-integer value"
+            ));
+        }
+        samples.push(OmSample {
+            name: name.to_string(),
+            kind,
+            value,
+        });
+    }
+    if !saw_eof {
+        return Err("missing '# EOF' terminator".into());
+    }
+    Ok(Exposition {
+        scrape_ts_ns,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, kind: MetricKind, value: Value) -> OmSample {
+        OmSample {
+            name: name.to_string(),
+            kind,
+            value,
+        }
+    }
+
+    #[test]
+    fn renders_the_documented_grammar() {
+        let samples = vec![
+            sample("pmcd_pdu_in", MetricKind::Counter, Value::Int(123)),
+            sample("pmcd_queue_depth", MetricKind::Gauge, Value::Int(0)),
+            sample("pmcd_pdu_in:rate", MetricKind::Gauge, Value::Float(61.5)),
+        ];
+        let text = render(&samples, Some(42));
+        assert_eq!(
+            text,
+            "# scrape_ts_ns 42\n\
+             # TYPE pmcd_pdu_in counter\n\
+             pmcd_pdu_in_total 123\n\
+             # TYPE pmcd_queue_depth gauge\n\
+             pmcd_queue_depth 0\n\
+             # TYPE pmcd_pdu_in:rate gauge\n\
+             pmcd_pdu_in:rate 61.5\n\
+             # EOF\n"
+        );
+    }
+
+    #[test]
+    fn round_trips_exactly_including_big_integers_and_whole_floats() {
+        let samples = vec![
+            sample("big", MetricKind::Counter, Value::Int(u64::MAX)),
+            sample("whole", MetricKind::Gauge, Value::Float(2.0)),
+            sample("tiny", MetricKind::Gauge, Value::Float(1.25e-9)),
+            sample("zero", MetricKind::Gauge, Value::Int(0)),
+        ];
+        let text = render(&samples, Some(7));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.scrape_ts_ns, Some(7));
+        assert_eq!(parsed.samples, samples);
+        // And back again: parse -> render is byte-identical.
+        assert_eq!(render(&parsed.samples, parsed.scrape_ts_ns), text);
+    }
+
+    #[test]
+    fn sanitize_maps_dotted_names() {
+        assert_eq!(
+            sanitize("pmcd.fetch.latency_ns.p99"),
+            "pmcd_fetch_latency_ns_p99"
+        );
+        assert_eq!(sanitize("a.count:rate"), "a_count:rate");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn from_exported_maps_semantics() {
+        let reg = crate::Registry::new();
+        reg.counter("om.in").add(3);
+        reg.gauge("om.depth").set(9);
+        let samples = from_exported(&reg.export());
+        assert_eq!(
+            samples[0],
+            sample("om_in", MetricKind::Counter, Value::Int(3))
+        );
+        assert_eq!(
+            samples[1],
+            sample("om_depth", MetricKind::Gauge, Value::Int(9))
+        );
+    }
+
+    #[test]
+    fn strip_timestamp_removes_only_the_header() {
+        let text = render(&[sample("x", MetricKind::Gauge, Value::Int(1))], Some(99));
+        let bare = render(&[sample("x", MetricKind::Gauge, Value::Int(1))], None);
+        assert_eq!(strip_timestamp(&text), bare);
+        assert_eq!(strip_timestamp(&bare), bare);
+    }
+
+    #[test]
+    fn parser_rejects_every_malformation() {
+        let reject = |doc: &str, why: &str| {
+            assert!(parse(doc).is_err(), "accepted {why}: {doc:?}");
+        };
+        reject("# TYPE x gauge\nx 1\n", "missing # EOF");
+        reject("# TYPE x gauge\nx 1\n# EOF", "missing final newline");
+        reject("x 1\n# EOF\n", "sample without TYPE");
+        reject("# TYPE x gauge\ny 1\n# EOF\n", "name mismatch");
+        reject("# TYPE x counter\nx 1\n# EOF\n", "counter without _total");
+        reject("# TYPE x counter\nx_total 1.5\n# EOF\n", "float counter");
+        reject("# TYPE x counter\nx_total -1\n# EOF\n", "negative counter");
+        reject("# TYPE x histogram\nx 1\n# EOF\n", "unknown type");
+        reject("# TYPE 1x gauge\n1x 1\n# EOF\n", "bad name");
+        reject(
+            "# TYPE x gauge\nx 1\n# TYPE x gauge\nx 2\n# EOF\n",
+            "duplicate",
+        );
+        reject("# TYPE x gauge\nx 1\n# EOF\nx 2\n", "content after EOF");
+        reject("# TYPE x gauge\nx nan\n# EOF\n", "non-finite value");
+        reject("# scrape_ts_ns abc\n# EOF\n", "bad timestamp");
+        assert!(parse("# EOF\n").unwrap().samples.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Cross-process trace stitching and critical-path decomposition.
+//!
+//! A `WireClient` stamps every fetch PDU with a process-unique trace id
+//! (see [`crate::trace::next_trace_id`]); the server echoes that id as
+//! the argument of its handling span. Draining both sides' rings yields
+//! one merged event list in which the client span
+//! ([`CLIENT_FETCH_SPAN`], arg = trace id) and the server span
+//! ([`SERVER_FETCH_SPAN`], same arg) are causally linked, and
+//! [`critical_path`] decomposes the measured round-trip mechanically:
+//!
+//! ```text
+//! rtt = server.fetch + server.dispatch + codec.client + codec.server + wire
+//! ```
+//!
+//! Each component is clamped against the budget remaining after the
+//! ones before it, so the shares always sum to the client RTT *exactly*
+//! — the decomposition can be wrong about attribution in pathological
+//! traces, but it can never invent or lose time. This replaces the
+//! hand-computed latency split that `src/bin/overhead.rs` used to do
+//! from self-metric deltas.
+
+use crate::trace::{Kind, SpanEvent};
+
+/// Label of the client-side span wrapping one wire fetch round trip;
+/// its `arg` is the trace id carried in the fetch PDU.
+pub const CLIENT_FETCH_SPAN: &str = "wire.client.fetch";
+
+/// Label of the server-side span wrapping the handling of one traced
+/// fetch; its `arg` echoes the trace id from the PDU.
+pub const SERVER_FETCH_SPAN: &str = "wire.server.fetch";
+
+/// Label of the span wrapping the actual per-request metric reads
+/// inside the server (same label as the in-process daemon's fetch
+/// span, matched by containment rather than by arg).
+const FETCH_INNER_SPAN: &str = "pmcd.fetch";
+
+/// Labels of the PDU codec spans (matched by thread + time
+/// containment; their args carry payload sizes, not trace ids).
+const CODEC_SPANS: [&str; 2] = ["wire.pdu.encode", "wire.pdu.decode"];
+
+/// Component names of the decomposition, in attribution order.
+pub const COMPONENTS: [&str; 5] = [
+    "server.fetch",
+    "server.dispatch",
+    "codec.client",
+    "codec.server",
+    "wire",
+];
+
+/// One fetch round trip, decomposed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Trace id linking the client and server spans (0 for an averaged
+    /// path from [`mean_critical_path`]).
+    pub trace_id: u64,
+    /// The client-measured round trip in nanoseconds.
+    pub rtt_ns: u64,
+    /// `(component, nanoseconds)` in [`COMPONENTS`] order; sums to
+    /// `rtt_ns` exactly.
+    pub components: Vec<(&'static str, u64)>,
+}
+
+impl CriticalPath {
+    /// Nanoseconds attributed to `name` (0 for unknown components).
+    pub fn component(&self, name: &str) -> u64 {
+        self.components
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sum of all component shares — equal to `rtt_ns` by construction.
+    pub fn total(&self) -> u64 {
+        self.components.iter().map(|(_, v)| v).sum()
+    }
+}
+
+fn contains(outer: &SpanEvent, inner: &SpanEvent) -> bool {
+    inner.start_ns >= outer.start_ns
+        && inner.start_ns.saturating_add(inner.dur_ns)
+            <= outer.start_ns.saturating_add(outer.dur_ns)
+}
+
+fn span_with_arg<'a>(events: &'a [SpanEvent], label: &str, arg: u64) -> Option<&'a SpanEvent> {
+    events
+        .iter()
+        .find(|e| e.kind == Kind::Span && e.label == label && e.arg == arg)
+}
+
+/// Sum the durations of codec spans on thread `tid` that fall inside
+/// `window`, excluding any that also fall inside `exclude` (used to
+/// avoid double-charging server-side codec work into the server span).
+fn codec_ns(events: &[SpanEvent], tid: u64, window: &SpanEvent) -> u64 {
+    events
+        .iter()
+        .filter(|e| {
+            e.kind == Kind::Span
+                && e.tid == tid
+                && CODEC_SPANS.contains(&e.label)
+                && contains(window, e)
+        })
+        .map(|e| e.dur_ns)
+        .sum()
+}
+
+/// All trace ids with a client fetch span, in first-appearance order.
+pub fn trace_ids(events: &[SpanEvent]) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for e in events {
+        if e.kind == Kind::Span && e.label == CLIENT_FETCH_SPAN && !ids.contains(&e.arg) {
+            ids.push(e.arg);
+        }
+    }
+    ids
+}
+
+/// Decompose the round trip of `trace_id` over a merged event list.
+/// Returns `None` unless both the client and the server span for the
+/// id are present (a one-sided trace cannot be stitched).
+pub fn critical_path(events: &[SpanEvent], trace_id: u64) -> Option<CriticalPath> {
+    let client = span_with_arg(events, CLIENT_FETCH_SPAN, trace_id)?;
+    let server = span_with_arg(events, SERVER_FETCH_SPAN, trace_id)?;
+
+    let fetch_inner = events
+        .iter()
+        .filter(|e| {
+            e.kind == Kind::Span
+                && e.label == FETCH_INNER_SPAN
+                && e.tid == server.tid
+                && contains(server, e)
+        })
+        .map(|e| e.dur_ns)
+        .sum::<u64>();
+    let server_ns = server.dur_ns;
+    let codec_client = codec_ns(events, client.tid, client);
+    // Server-side request decode and reply encode run on the server
+    // thread before/after its handling span, inside the client window.
+    let codec_server =
+        codec_ns(events, server.tid, client).saturating_sub(codec_ns(events, server.tid, server));
+
+    // Charge each component against the budget left by the previous
+    // ones; whatever remains is wire + scheduling time. The shares
+    // therefore sum to the RTT exactly, by construction.
+    let mut budget = client.dur_ns;
+    let mut take = |want: u64| {
+        let got = want.min(budget);
+        budget -= got;
+        got
+    };
+    let fetch = take(fetch_inner.min(server_ns));
+    let dispatch = take(server_ns - fetch_inner.min(server_ns));
+    let cc = take(codec_client);
+    let cs = take(codec_server);
+    let wire = budget;
+
+    Some(CriticalPath {
+        trace_id,
+        rtt_ns: client.dur_ns,
+        components: vec![
+            (COMPONENTS[0], fetch),
+            (COMPONENTS[1], dispatch),
+            (COMPONENTS[2], cc),
+            (COMPONENTS[3], cs),
+            (COMPONENTS[4], wire),
+        ],
+    })
+}
+
+/// Mean decomposition across every stitchable trace id in the event
+/// list (`trace_id` 0 in the result). `None` when nothing stitches.
+pub fn mean_critical_path(events: &[SpanEvent]) -> Option<CriticalPath> {
+    let paths: Vec<CriticalPath> = trace_ids(events)
+        .into_iter()
+        .filter_map(|id| critical_path(events, id))
+        .collect();
+    if paths.is_empty() {
+        return None;
+    }
+    let n = paths.len() as u64;
+    let mut components: Vec<(&'static str, u64)> = COMPONENTS
+        .iter()
+        .map(|name| {
+            (
+                *name,
+                paths.iter().map(|p| p.component(name)).sum::<u64>() / n,
+            )
+        })
+        .collect();
+    // Integer division may drop up to `len-1` nanoseconds per
+    // component; fold the remainder into the wire share so the mean
+    // path keeps the sums-to-rtt invariant.
+    let rtt_ns = paths.iter().map(|p| p.rtt_ns).sum::<u64>() / n;
+    let partial: u64 = components.iter().map(|(_, v)| v).sum();
+    if let Some(last) = components.last_mut() {
+        last.1 += rtt_ns.saturating_sub(partial);
+    }
+    Some(CriticalPath {
+        trace_id: 0,
+        rtt_ns,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(label: &'static str, tid: u64, start_ns: u64, dur_ns: u64, arg: u64) -> SpanEvent {
+        SpanEvent {
+            label,
+            tid,
+            start_ns,
+            dur_ns,
+            arg,
+            kind: Kind::Span,
+        }
+    }
+
+    /// A realistic single round trip: client encodes, server decodes,
+    /// handles (with an inner fetch), encodes the reply, client decodes.
+    fn round_trip(trace_id: u64, base: u64) -> Vec<SpanEvent> {
+        vec![
+            span(CLIENT_FETCH_SPAN, 1, base, 1000, trace_id),
+            span("wire.pdu.encode", 1, base + 10, 50, 0), // client request encode
+            span("wire.pdu.decode", 2, base + 100, 40, 36), // server request decode
+            span(SERVER_FETCH_SPAN, 2, base + 150, 400, trace_id),
+            span(FETCH_INNER_SPAN, 2, base + 200, 300, 16),
+            span("wire.pdu.encode", 2, base + 560, 60, 0), // server reply encode
+            span("wire.pdu.decode", 1, base + 900, 30, 128), // client reply decode
+        ]
+    }
+
+    #[test]
+    fn shares_sum_to_rtt_exactly() {
+        let events = round_trip(7, 100_000);
+        let path = critical_path(&events, 7).unwrap();
+        assert_eq!(path.rtt_ns, 1000);
+        assert_eq!(path.total(), path.rtt_ns);
+        assert_eq!(path.component("server.fetch"), 300);
+        assert_eq!(path.component("server.dispatch"), 100);
+        assert_eq!(path.component("codec.client"), 80);
+        assert_eq!(path.component("codec.server"), 100);
+        assert_eq!(path.component("wire"), 420);
+    }
+
+    #[test]
+    fn one_sided_traces_do_not_stitch() {
+        let mut events = round_trip(7, 0);
+        events.retain(|e| e.label != SERVER_FETCH_SPAN);
+        assert!(critical_path(&events, 7).is_none());
+        assert!(critical_path(&round_trip(7, 0), 8).is_none());
+    }
+
+    #[test]
+    fn pathological_spans_never_exceed_the_budget() {
+        // A server span longer than the client span (bogus, but the
+        // decomposition must still conserve time).
+        let events = vec![
+            span(CLIENT_FETCH_SPAN, 1, 1000, 500, 3),
+            span(SERVER_FETCH_SPAN, 2, 1000, 5_000, 3),
+            span(FETCH_INNER_SPAN, 2, 1100, 4_000, 1),
+        ];
+        let path = critical_path(&events, 3).unwrap();
+        assert_eq!(path.total(), 500);
+        assert_eq!(path.component("wire"), 0);
+    }
+
+    #[test]
+    fn mean_path_averages_and_conserves() {
+        let mut events = round_trip(1, 0);
+        events.extend(round_trip(2, 1_000_000));
+        assert_eq!(trace_ids(&events), vec![1, 2]);
+        let mean = mean_critical_path(&events).unwrap();
+        assert_eq!(mean.rtt_ns, 1000);
+        assert_eq!(mean.total(), mean.rtt_ns);
+        assert_eq!(mean.component("server.fetch"), 300);
+        assert!(mean_critical_path(&[]).is_none());
+    }
+}

@@ -204,6 +204,18 @@ impl Drop for SpanGuard {
     }
 }
 
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Hand out a process-unique, non-zero trace id. Wire clients stamp
+/// fetch PDUs with one so client and server spans stitch into a single
+/// causally-linked trace (see [`crate::stitch`]); zero on the wire
+/// means "not traced".
+#[inline]
+pub fn next_trace_id() -> u64 {
+    // relaxed-ok: unique-id handout, no ordering with other data.
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Record a point event (used by the `instant!` macro).
 #[inline]
 pub fn instant_event(label: &'static str, arg: u64) {

@@ -101,6 +101,16 @@ impl WireClient {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
         read_pdu(&mut *stream, self.max_payload).map_err(wire_err)
     }
+
+    /// Fetch the server's OpenMetrics text exposition over the PDU
+    /// channel (the same document the HTTP scrape listener serves).
+    pub fn scrape_exposition(&self) -> Result<String, PcpError> {
+        match self.call(&Pdu::Exposition)? {
+            Pdu::ExpositionResult { text } => Ok(text),
+            Pdu::Error { code, detail } => Err(server_error(code, detail)),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn io_err(e: std::io::Error) -> PcpError {
@@ -192,7 +202,14 @@ impl PmApi for WireClient {
 
     fn pm_fetch(&self, requests: &[(MetricId, InstanceId)]) -> Result<Vec<u64>, PcpError> {
         let wire_reqs: Vec<(u32, u32)> = requests.iter().map(|&(m, i)| (m.0, i.0)).collect();
+        // The trace id rides the fetch PDU so the server's handling span
+        // can be stitched to this client span (obs::stitch). Id handout
+        // is a plain atomic and stays on even in unprofiled builds.
+        let trace_id = obs::trace::next_trace_id();
+        #[cfg(feature = "obs")]
+        let _span = obs::span!(obs::stitch::CLIENT_FETCH_SPAN, trace_id);
         match self.call(&Pdu::Fetch {
+            trace_id,
             requests: wire_reqs,
         })? {
             Pdu::FetchResult { values } => {

@@ -21,6 +21,9 @@
 //!   mutex/condvar come from the vendored loom shim under `--cfg loom`,
 //!   so `tests/loom_pool.rs` can model-check the accept/shutdown path
 //!   (bounded Busy rejection, graceful drain-then-join).
+//! * [`scrape`] — [`ScrapeListener`]: an HTTP sidecar serving the same
+//!   OpenMetrics exposition as `Pdu::Exposition`, so `curl` and
+//!   Prometheus can watch the daemon without speaking PDUs.
 //! * [`client`] — [`WireClient`]: implements `pcp_sim::PmApi`, so the
 //!   PAPI PCP component runs against either transport unchanged.
 //! * [`logger`] — [`SamplingScheduler`]: the `pmlogger` analogue. A
@@ -34,10 +37,12 @@ pub mod client;
 pub mod logger;
 pub mod pdu;
 pub mod pool;
+pub mod scrape;
 pub mod server;
 
 pub use client::WireClient;
 pub use logger::{SamplingScheduler, ScheduleSpec};
 pub use pdu::{ErrorCode, Pdu, PduError, PROTOCOL_VERSION};
 pub use pool::BoundedQueue;
+pub use scrape::ScrapeListener;
 pub use server::{PmcdServer, ServerError, StatsSnapshot, WireConfig};

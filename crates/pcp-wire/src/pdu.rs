@@ -23,7 +23,10 @@ use std::io::{self, Read, Write};
 pub const MAGIC: u16 = 0x5043;
 /// Current protocol version. Bumped on any incompatible layout change;
 /// servers reject other versions with [`ErrorCode::BadVersion`].
-pub const PROTOCOL_VERSION: u8 = 1;
+/// History: v1 — initial protocol; v2 — `Fetch` carries a leading
+/// trace-context id (8 bytes, 0 = untraced) and the
+/// `Exposition`/`ExpositionResult` scrape ops exist.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Default upper bound on a payload. Generous for a 16-metric namespace;
@@ -35,6 +38,9 @@ pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
 const MAX_STRING: usize = 4096;
 const MAX_FETCH: usize = 65_536;
 const MAX_NAMES: usize = 65_536;
+/// Cap on an exposition document — far above a realistic registry
+/// (hundreds of metrics at ~64 bytes/line) but bounded.
+const MAX_EXPOSITION: usize = 1 << 20;
 
 /// PDU type tags.
 const T_CREDS: u8 = 0x01;
@@ -50,6 +56,10 @@ const T_INSTANCE_RESULT: u8 = 0x0a;
 const T_FETCH: u8 = 0x0b;
 const T_FETCH_RESULT: u8 = 0x0c;
 const T_ERROR: u8 = 0x0d;
+const T_EXPOSITION: u8 = 0x0e;
+const T_EXPOSITION_RESULT: u8 = 0x0f;
+/// Highest assigned type tag (the header decoder's range check).
+const T_MAX: u8 = T_EXPOSITION_RESULT;
 
 /// Error codes carried by [`Pdu::Error`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,8 +148,12 @@ pub enum Pdu {
         /// Publishing CPU per socket, socket order.
         nest_cpus: Vec<u32>,
     },
-    /// `pmFetch`: batched `(metric id, instance)` reads.
+    /// `pmFetch`: batched `(metric id, instance)` reads. `trace_id`
+    /// is the propagated span context: a non-zero id links the
+    /// client's request span to the server's handling span so both
+    /// sides stitch into one trace (`obs::stitch`); 0 means untraced.
     Fetch {
+        trace_id: u64,
         requests: Vec<(u32, u32)>,
     },
     /// One slot per request; `None` marks a bad instance.
@@ -150,6 +164,14 @@ pub enum Pdu {
     Error {
         code: ErrorCode,
         detail: String,
+    },
+    /// Request the OpenMetrics text exposition of the server's merged
+    /// metric view (self-metrics + obs registry).
+    Exposition,
+    /// The exposition document (see `obs::openmetrics` for the
+    /// grammar).
+    ExpositionResult {
+        text: String,
     },
 }
 
@@ -237,6 +259,8 @@ impl Pdu {
             Pdu::Fetch { .. } => T_FETCH,
             Pdu::FetchResult { .. } => T_FETCH_RESULT,
             Pdu::Error { .. } => T_ERROR,
+            Pdu::Exposition => T_EXPOSITION,
+            Pdu::ExpositionResult { .. } => T_EXPOSITION_RESULT,
         }
     }
 
@@ -284,7 +308,8 @@ impl Pdu {
                     put_u32(&mut p, *c);
                 }
             }
-            Pdu::Fetch { requests } => {
+            Pdu::Fetch { trace_id, requests } => {
+                put_u64(&mut p, *trace_id);
                 put_u32(&mut p, requests.len() as u32);
                 for &(id, inst) in requests {
                     put_u32(&mut p, id);
@@ -306,6 +331,12 @@ impl Pdu {
             Pdu::Error { code, detail } => {
                 put_u32(&mut p, code.to_u32());
                 put_str(&mut p, detail);
+            }
+            Pdu::Exposition => {}
+            Pdu::ExpositionResult { text } => {
+                debug_assert!(text.len() <= MAX_EXPOSITION);
+                put_u32(&mut p, text.len() as u32);
+                p.extend_from_slice(text.as_bytes());
             }
         }
         p
@@ -412,7 +443,7 @@ pub fn decode_header(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Frame
         return Err(PduError::BadVersion(version));
     }
     let type_tag = bytes[3];
-    if !(T_CREDS..=T_ERROR).contains(&type_tag) {
+    if !(T_CREDS..=T_MAX).contains(&type_tag) {
         return Err(PduError::BadType(type_tag));
     }
     let payload_len = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
@@ -490,6 +521,7 @@ pub fn decode_payload(type_tag: u8, payload: &[u8]) -> Result<Pdu, PduError> {
             }
         }
         T_FETCH => {
+            let trace_id = c.u64()?;
             let n = c.u32()? as usize;
             if n > MAX_FETCH {
                 return Err(PduError::FieldTooLarge);
@@ -503,7 +535,7 @@ pub fn decode_payload(type_tag: u8, payload: &[u8]) -> Result<Pdu, PduError> {
                 let inst = c.u32()?;
                 requests.push((id, inst));
             }
-            Pdu::Fetch { requests }
+            Pdu::Fetch { trace_id, requests }
         }
         T_FETCH_RESULT => {
             let n = c.u32()? as usize;
@@ -529,6 +561,17 @@ pub fn decode_payload(type_tag: u8, payload: &[u8]) -> Result<Pdu, PduError> {
             Pdu::Error {
                 code,
                 detail: c.string()?,
+            }
+        }
+        T_EXPOSITION => Pdu::Exposition,
+        T_EXPOSITION_RESULT => {
+            let len = c.u32()? as usize;
+            if len > MAX_EXPOSITION {
+                return Err(PduError::FieldTooLarge);
+            }
+            let bytes = c.take(len)?;
+            Pdu::ExpositionResult {
+                text: String::from_utf8(bytes.to_vec()).map_err(|_| PduError::BadString)?,
             }
         }
         other => return Err(PduError::BadType(other)),
@@ -672,9 +715,11 @@ mod tests {
 
     fn all_pdus() -> Vec<Pdu> {
         vec![
-            Pdu::Creds { version: 1 },
+            Pdu::Creds {
+                version: PROTOCOL_VERSION,
+            },
             Pdu::CredsAck {
-                version: 1,
+                version: PROTOCOL_VERSION,
                 client_id: 42,
             },
             Pdu::Lookup {
@@ -702,7 +747,12 @@ mod tests {
                 nest_cpus: vec![87, 175],
             },
             Pdu::Fetch {
+                trace_id: 0,
                 requests: vec![(0, 87), (1, 175)],
+            },
+            Pdu::Fetch {
+                trace_id: u64::MAX,
+                requests: vec![(7, 87)],
             },
             Pdu::FetchResult {
                 values: vec![Some(64), None, Some(u64::MAX)],
@@ -710,6 +760,10 @@ mod tests {
             Pdu::Error {
                 code: ErrorCode::NoSuchMetric,
                 detail: "perfevent.bogus".into(),
+            },
+            Pdu::Exposition,
+            Pdu::ExpositionResult {
+                text: "# TYPE pmcd_pdu_in counter\npmcd_pdu_in_total 3\n# EOF\n".into(),
             },
         ]
     }
@@ -820,7 +874,7 @@ mod tests {
             if round % 2 == 0 && buf.len() >= HEADER_LEN {
                 buf[0..2].copy_from_slice(&MAGIC.to_be_bytes());
                 buf[2] = PROTOCOL_VERSION;
-                buf[3] = T_CREDS + (buf[3] % (T_ERROR - T_CREDS + 1));
+                buf[3] = T_CREDS + (buf[3] % (T_MAX - T_CREDS + 1));
                 let plen = (buf.len() - HEADER_LEN) as u32;
                 buf[4..8].copy_from_slice(&plen.to_be_bytes());
             }
@@ -829,8 +883,43 @@ mod tests {
     }
 
     #[test]
+    fn oversized_exposition_rejected() {
+        // A hand-built ExpositionResult whose inner length field claims
+        // more than MAX_EXPOSITION (the frame itself stays small).
+        let mut payload = Vec::new();
+        super::put_u32(&mut payload, (MAX_EXPOSITION + 1) as u32);
+        let mut frame = Vec::new();
+        super::put_u16(&mut frame, MAGIC);
+        frame.push(PROTOCOL_VERSION);
+        frame.push(T_EXPOSITION_RESULT);
+        super::put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        assert!(matches!(
+            decode_frame(&frame, DEFAULT_MAX_PAYLOAD),
+            Err(PduError::FieldTooLarge)
+        ));
+    }
+
+    #[test]
+    fn fetch_trace_id_rides_the_frame() {
+        let pdu = Pdu::Fetch {
+            trace_id: 0xdead_beef_0042,
+            requests: vec![(3, 87)],
+        };
+        let frame = pdu.encode();
+        match decode_frame(&frame, DEFAULT_MAX_PAYLOAD).unwrap() {
+            Pdu::Fetch { trace_id, requests } => {
+                assert_eq!(trace_id, 0xdead_beef_0042);
+                assert_eq!(requests, vec![(3, 87)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn stream_reader_handles_split_frames() {
         let pdu = Pdu::Fetch {
+            trace_id: 9,
             requests: vec![(1, 87)],
         };
         let frame = pdu.encode();

@@ -1,0 +1,243 @@
+//! HTTP scrape sidecar: `GET /metrics` → OpenMetrics text.
+//!
+//! A [`ScrapeListener`] rides alongside a [`crate::PmcdServer`] and
+//! serves the *same* exposition document the server answers to
+//! `Pdu::Exposition` — one renderer, two transports, so `curl` and a
+//! Prometheus scraper can watch the daemon without speaking the PDU
+//! protocol (README "Watching it run").
+//!
+//! The HTTP surface is deliberately tiny: one request per connection,
+//! `GET /metrics` (or `/`) answered with `200` and
+//! `application/openmetrics-text`, anything else with `404`, a
+//! malformed request line with `400`, always `Connection: close`.
+//! Backpressure reuses the same [`BoundedQueue`] discipline as the PDU
+//! server: accepted sockets queue for a small worker pool, and when the
+//! queue is full the connection is shed at the door with `503` (counted
+//! by `wire.scrape.shed`).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::pool::{BoundedQueue, Pop, PushError};
+use crate::server::{exposition_text, unix_ns, PmcdServer, Shared};
+
+/// OpenMetrics content type served with every `200`.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Largest request head (request line + headers) read before answering;
+/// anything longer is malformed for this endpoint.
+const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Per-connection read/write timeout — a stalled scraper must not wedge
+/// a worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The HTTP sidecar serving a PMCD's exposition.
+pub struct ScrapeListener {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScrapeListener {
+    /// Bind next to `server` with a small default pool (2 workers, 16
+    /// pending connections) — scrapes are periodic, not a fleet.
+    pub fn bind<A: ToSocketAddrs>(addr: A, server: &PmcdServer) -> std::io::Result<Self> {
+        Self::bind_with(addr, server, 2, 16)
+    }
+
+    /// Bind with explicit worker and pending-queue sizes.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        server: &PmcdServer,
+        workers: usize,
+        pending: usize,
+    ) -> std::io::Result<Self> {
+        assert!(workers >= 1, "scrape listener needs at least one worker");
+        let shared = server.shared();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(pending.max(1)));
+
+        let mut out = ScrapeListener {
+            local_addr,
+            shutdown: Arc::clone(&shutdown),
+            queue: Arc::clone(&queue),
+            accept_thread: None,
+            workers: Vec::with_capacity(workers),
+        };
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let handle = std::thread::Builder::new()
+                .name(format!("pmcd-scrape-{i}"))
+                .spawn(move || worker_loop(&shared, &queue, &shutdown));
+            match handle {
+                Ok(h) => out.workers.push(h),
+                Err(e) => return Err(e),
+            }
+        }
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_queue = Arc::clone(&queue);
+        out.accept_thread = Some(
+            std::thread::Builder::new()
+                .name("pmcd-scrape-accept".into())
+                .spawn(move || accept_loop(listener, &accept_queue, &accept_shutdown))?,
+        );
+        Ok(out)
+    }
+
+    /// The address to point `curl`/Prometheus at.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, drain queued connections, join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ScrapeListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, queue: &BoundedQueue<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                obs::counter!("wire.scrape.requests").inc();
+                match queue.try_push(stream) {
+                    Ok(()) => {}
+                    Err(PushError::Full(stream)) => shed(stream),
+                    Err(PushError::Closed(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Queue full: answer 503 and close, mirroring the PDU server's
+/// shed-at-the-door policy.
+fn shed(mut stream: TcpStream) {
+    obs::counter!("wire.scrape.shed").inc();
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ =
+        stream.write_all(response(503, "Service Unavailable", "scraper at capacity\n").as_bytes());
+}
+
+fn worker_loop(shared: &Shared, queue: &BoundedQueue<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        match queue.pop_timeout(Duration::from_millis(50)) {
+            Pop::Item(stream) => serve_scrape(shared, stream),
+            Pop::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) && queue.is_empty() {
+                    return;
+                }
+            }
+            Pop::Closed => return,
+        }
+    }
+}
+
+/// Read one request head and answer it. Never panics on client
+/// misbehaviour; every path ends with the connection closed.
+fn serve_scrape(shared: &Shared, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let reply = match read_request_path(&mut stream) {
+        Some(path) if path == "/metrics" || path == "/" => {
+            let body = exposition_text(shared, unix_ns());
+            response(200, "OK", &body)
+        }
+        Some(path) => response(404, "Not Found", &format!("no route {path}\n")),
+        None => response(400, "Bad Request", "malformed request\n"),
+    };
+    let _ = stream.write_all(reply.as_bytes());
+}
+
+/// Read up to the end of the request head and return the request-target
+/// of a well-formed `GET`; `None` for anything else.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split(' ');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/1.") => {
+            Some(path.to_owned())
+        }
+        _ => None,
+    }
+}
+
+/// Assemble one `HTTP/1.1` response with the body and `Connection:
+/// close` (every exchange is single-shot).
+fn response(status: u16, reason: &str, body: &str) -> String {
+    let content_type = if status == 200 {
+        CONTENT_TYPE
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_frames_the_body() {
+        let r = response(200, "OK", "# EOF\n");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 6\r\n"));
+        assert!(r.contains(CONTENT_TYPE));
+        assert!(r.ends_with("\r\n\r\n# EOF\n"));
+        let nf = response(404, "Not Found", "no route /x\n");
+        assert!(nf.contains("text/plain"));
+    }
+}

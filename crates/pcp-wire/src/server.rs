@@ -230,7 +230,7 @@ pub struct StatsSnapshot {
 }
 
 /// Everything a worker needs to answer requests.
-struct Shared {
+pub(crate) struct Shared {
     pmns: Pmns,
     sockets: Vec<Arc<SocketShared>>,
     config: WireConfig,
@@ -378,6 +378,20 @@ impl PmcdServer {
     /// by any client as `pmcd.queue.depth`).
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The OpenMetrics exposition this server would serve right now —
+    /// the same renderer that answers `Pdu::Exposition` and the HTTP
+    /// scrape listener, so an in-process call and a TCP scrape agree
+    /// byte for byte modulo the `# scrape_ts_ns` header.
+    pub fn exposition(&self) -> String {
+        exposition_text(&self.shared, unix_ns())
+    }
+
+    /// Shared state handle for sidecar listeners (see
+    /// [`crate::scrape::ScrapeListener`]).
+    pub(crate) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
     }
 
     /// Stop accepting, finish in-flight requests, join every thread.
@@ -642,7 +656,14 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
             num_cpus: pmns.num_instances(),
             nest_cpus: pmns.nest_cpus().to_vec(),
         },
-        Pdu::Fetch { requests } => {
+        Pdu::Fetch { trace_id, requests } => {
+            // Echo the client's trace id as the span argument so the
+            // drained rings stitch into one cross-process critical path
+            // (obs::stitch matches client/server spans by this arg).
+            #[cfg(feature = "obs")]
+            let _server_span = obs::span!(obs::stitch::SERVER_FETCH_SPAN, trace_id);
+            #[cfg(not(feature = "obs"))]
+            let _ = trace_id;
             if requests.len() > shared.config.max_fetch_batch {
                 return Pdu::Error {
                     code: ErrorCode::TooLarge,
@@ -654,13 +675,24 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
                 };
             }
             let start = Instant::now();
-            let values = requests
-                .iter()
-                .map(|&(id, inst)| fetch_one(shared, id, inst))
-                .collect();
+            // One registry snapshot answers every `pmcd.obs.*` id in the
+            // batch: re-exporting per request would let counters advance
+            // mid-fetch and return torn batches (count moved, sum not).
+            let mut obs_snap: Option<Vec<obs::metrics::Exported>> = None;
+            let values = {
+                #[cfg(feature = "obs")]
+                let _fetch_span = obs::span!("pmcd.fetch", requests.len());
+                requests
+                    .iter()
+                    .map(|&(id, inst)| fetch_one(shared, id, inst, &mut obs_snap))
+                    .collect()
+            };
             shared.stats.record_fetch(start.elapsed());
             Pdu::FetchResult { values }
         }
+        Pdu::Exposition => Pdu::ExpositionResult {
+            text: exposition_text(shared, unix_ns()),
+        },
         // Anything else is a server-to-client PDU arriving backwards.
         other => Pdu::Error {
             code: ErrorCode::BadPdu,
@@ -676,12 +708,68 @@ fn bad_metric(id: u32) -> Pdu {
     }
 }
 
+/// Wall-clock nanoseconds since the Unix epoch, for the scrape
+/// timestamp header.
+pub(crate) fn unix_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// Render the server's merged OpenMetrics exposition: the wire
+/// self-metric table (queue gauges answered live from the accept
+/// queue), then the process-wide obs registry under `pmcd.obs.`.
+/// Exactly the document served to `Pdu::Exposition` and to the HTTP
+/// scrape listener, so in-process and over-the-wire scrapes are
+/// byte-identical modulo the `# scrape_ts_ns` header.
+pub(crate) fn exposition_text(shared: &Shared, scrape_ts_ns: u64) -> String {
+    use obs::openmetrics::{sanitize, MetricKind, OmSample, Value};
+    let export = obs::registry().export();
+    let mut samples: Vec<OmSample> = Vec::with_capacity(SELF_METRICS.len() + export.len());
+    for (idx, &(name, _units, semantics)) in SELF_METRICS.iter().enumerate() {
+        let value = match idx {
+            QUEUE_DEPTH_IDX => shared.queue.len() as u64,
+            QUEUE_SHED_IDX => peek(&shared.stats.clients_rejected),
+            _ => shared.stats.value(idx).unwrap_or(0),
+        };
+        samples.push(OmSample {
+            name: sanitize(name),
+            kind: match semantics {
+                MetricSemantics::Counter => MetricKind::Counter,
+                MetricSemantics::Instant => MetricKind::Gauge,
+            },
+            value: Value::Int(value),
+        });
+    }
+    for e in &export {
+        samples.push(OmSample {
+            name: sanitize(&format!("{}{}", selfmetrics::OBS_PREFIX, e.name)),
+            kind: match e.semantics {
+                obs::metrics::ExportSemantics::Counter => MetricKind::Counter,
+                obs::metrics::ExportSemantics::Instant => MetricKind::Gauge,
+            },
+            value: Value::Int(e.value),
+        });
+    }
+    obs::openmetrics::render(&samples, Some(scrape_ts_ns))
+}
+
 /// Mirror of the in-process daemon's fetch: nest values appear on each
 /// socket's publisher CPU, other valid CPUs read zero, invalid instances
-/// read `None`. Self-metrics accept any instance.
-fn fetch_one(shared: &Shared, id: u32, inst: u32) -> Option<u64> {
+/// read `None`. Self-metrics accept any instance. `pmcd.obs.*` ids are
+/// answered from `obs_snap`, a registry export taken at most once per
+/// fetch batch so every obs value in a reply is from one coherent
+/// snapshot.
+fn fetch_one(
+    shared: &Shared,
+    id: u32,
+    inst: u32,
+    obs_snap: &mut Option<Vec<obs::metrics::Exported>>,
+) -> Option<u64> {
     if id >= OBS_METRIC_BASE {
-        return selfmetrics::obs_value(MetricId(id));
+        let snap = obs_snap.get_or_insert_with(|| obs::registry().export());
+        return selfmetrics::obs_value_from(snap, MetricId(id));
     }
     if id >= SELF_METRIC_BASE {
         return match (id - SELF_METRIC_BASE) as usize {

@@ -254,9 +254,14 @@ fn service_loop(
                 #[cfg(feature = "obs")]
                 let _span = obs::span!("pmcd.fetch", requests.len() as u64);
                 let start = Instant::now();
+                // One registry snapshot per batch: every `pmcd.obs.*`
+                // value in the reply is from the same registry state.
+                let mut obs_snap: Option<Vec<obs::metrics::Exported>> = None;
                 let values = requests
                     .iter()
-                    .map(|&(id, inst)| fetch_one(&pmns, &sockets, &config, &stats, id, inst))
+                    .map(|&(id, inst)| {
+                        fetch_one(&pmns, &sockets, &config, &stats, id, inst, &mut obs_snap)
+                    })
                     .collect();
                 stats.record_fetch(start.elapsed());
                 let _ = reply.send(values);
@@ -274,11 +279,15 @@ fn fetch_one(
     stats: &DaemonStats,
     id: MetricId,
     inst: InstanceId,
+    obs_snap: &mut Option<Vec<obs::metrics::Exported>>,
 ) -> Option<u64> {
     // Self-metrics and the obs-registry export are instance-less: any
-    // valid instance reads the same value.
+    // valid instance reads the same value. Obs ids are answered from a
+    // registry export taken at most once per fetch batch, so a reply
+    // can never mix registry states across its columns.
     if id.0 >= OBS_METRIC_BASE {
-        return selfmetrics::obs_value(id);
+        let snap = obs_snap.get_or_insert_with(|| obs::registry().export());
+        return selfmetrics::obs_value_from(snap, id);
     }
     if id.0 >= SELF_METRIC_BASE {
         return stats.value((id.0 - SELF_METRIC_BASE) as usize);

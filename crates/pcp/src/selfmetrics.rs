@@ -214,10 +214,22 @@ pub fn obs_desc(id: MetricId) -> Option<MetricDesc> {
     ))
 }
 
-/// Current value of a `pmcd.obs.*` metric id (any instance).
+/// Current value of a `pmcd.obs.*` metric id (any instance). Takes a
+/// fresh registry export per call — callers answering a *batch* of obs
+/// ids should export once and use [`obs_value_from`] so every value in
+/// the reply comes from one coherent snapshot.
 pub fn obs_value(id: MetricId) -> Option<u64> {
+    obs_value_from(&obs::registry().export(), id)
+}
+
+/// Value of a `pmcd.obs.*` metric id out of a caller-held registry
+/// export. Both daemons snapshot once per fetch batch and answer every
+/// obs id in the batch from it, so a reply can never mix registry
+/// states (e.g. a histogram's `count` advancing between its `count`
+/// and `sum` columns).
+pub fn obs_value_from(snapshot: &[obs::metrics::Exported], id: MetricId) -> Option<u64> {
     let idx = id.0.checked_sub(OBS_METRIC_BASE)? as usize;
-    obs::registry().export().get(idx).map(|e| e.value)
+    snapshot.get(idx).map(|e| e.value)
 }
 
 /// All `pmcd.obs.*` names matching a dotted prefix.

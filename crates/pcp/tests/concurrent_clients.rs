@@ -133,7 +133,8 @@ fn wire_server_survives_hostile_clients_among_sixteen() {
                     let c = WireClient::connect(addr).unwrap();
                     // Header declaring an 84-byte Fetch payload, then only
                     // 4 payload bytes, then drop: a mid-fetch disconnect.
-                    let mut partial = vec![0x50, 0x43, 1, 0x0b, 0, 0, 0, 84];
+                    let mut partial =
+                        vec![0x50, 0x43, pcp_wire::PROTOCOL_VERSION, 0x0b, 0, 0, 0, 84];
                     partial.extend_from_slice(&10u32.to_be_bytes());
                     c.send_raw(&partial).unwrap();
                     drop(c);

@@ -1,6 +1,6 @@
 //! `papi-verify` static-analysis pass.
 //!
-//! Three repo-specific rules, enforced over every non-test source line of
+//! Five repo-specific rules, enforced over every non-test source line of
 //! the workspace (vendored shims excluded):
 //!
 //! 1. **no-panic** — the server and codec crates (`pcp-wire`, `pcp`) must
@@ -30,6 +30,14 @@
 //!    them. The `obs` crate itself is exempt (it implements the layer).
 //!    Because the attribute's `"obs"` is a string literal — which the
 //!    scrubber blanks — this rule inspects the raw source lines.
+//! 5. **metric-catalog** — the metric name at every `counter!` / `gauge!` /
+//!    `histogram!` call site in non-test code must be a string literal
+//!    that appears (backtick-quoted) in the checked-in `METRICS.md`, or
+//!    waive the rule with a `// metric-ok: <why>` comment. Exported
+//!    metric names are external API: dashboards, scrape rules and the
+//!    PMNS `pmcd.obs.*` subtree all key on them, so an uncatalogued name
+//!    is an undocumented interface and a typo is a silently dead series.
+//!    The `obs` crate (which implements the macros) is exempt.
 //!
 //! The scanner is a lightweight lexer (comments, strings and char literals
 //! stripped; `#[cfg(test)]` modules brace-matched and skipped), not a full
@@ -55,6 +63,13 @@ const OBS_NEEDLES: &[&str] = &["obs::span!", "obs::instant!"];
 /// Crates exempt from rule 4: the tracer crate itself.
 const OBS_EXEMPT_CRATES: &[&str] = &["obs"];
 
+/// Metric-registration macros whose name argument must be catalogued
+/// (rule 5).
+const METRIC_NEEDLES: &[&str] = &["counter!(", "gauge!(", "histogram!("];
+
+/// Crates exempt from rule 5: the metrics crate itself.
+const METRIC_EXEMPT_CRATES: &[&str] = &["obs"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -71,6 +86,7 @@ pub enum Rule {
     RelaxedOk,
     PrivilegeTaint,
     ObsFeatureGate,
+    MetricCatalog,
 }
 
 impl fmt::Display for Rule {
@@ -80,7 +96,47 @@ impl fmt::Display for Rule {
             Rule::RelaxedOk => write!(f, "relaxed-ok"),
             Rule::PrivilegeTaint => write!(f, "privilege-taint"),
             Rule::ObsFeatureGate => write!(f, "obs-feature-gate"),
+            Rule::MetricCatalog => write!(f, "metric-catalog"),
         }
+    }
+}
+
+/// The set of documented metric names, parsed from `METRICS.md`: every
+/// backtick-quoted whitespace-free token in the document counts as a
+/// catalogued name, so both table rows and prose mentions register.
+#[derive(Debug, Clone, Default)]
+pub struct MetricCatalog {
+    names: std::collections::BTreeSet<String>,
+}
+
+impl MetricCatalog {
+    pub fn parse(md: &str) -> Self {
+        let mut names = std::collections::BTreeSet::new();
+        for line in md.lines() {
+            let mut rest = line;
+            while let Some(start) = rest.find('`') {
+                let after = &rest[start + 1..];
+                let Some(end) = after.find('`') else { break };
+                let tok = &after[..end];
+                if !tok.is_empty() && !tok.contains(char::is_whitespace) {
+                    names.insert(tok.to_owned());
+                }
+                rest = &after[end + 1..];
+            }
+        }
+        MetricCatalog { names }
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
     }
 }
 
@@ -397,9 +453,22 @@ fn annotated(s: &Scrubbed, ln: usize, tag: &str) -> bool {
     false
 }
 
-/// Lint one file's source. `crate_name` is the directory name under
-/// `crates/` (the root package lints as `papi-repro`).
+/// Lint one file's source with rules 1–4 only (no metric catalog; rule 5
+/// needs the workspace's `METRICS.md` and runs via
+/// [`lint_source_with_catalog`]).
 pub fn lint_source(crate_name: &str, file: &str, source: &str) -> Vec<Violation> {
+    lint_source_with_catalog(crate_name, file, source, None)
+}
+
+/// Lint one file's source. `crate_name` is the directory name under
+/// `crates/` (the root package lints as `papi-repro`). Rule 5 runs only
+/// when a parsed [`MetricCatalog`] is supplied.
+pub fn lint_source_with_catalog(
+    crate_name: &str,
+    file: &str,
+    source: &str,
+    catalog: Option<&MetricCatalog>,
+) -> Vec<Violation> {
     let s = scrub(source);
     let mut out = Vec::new();
 
@@ -472,8 +541,88 @@ pub fn lint_source(crate_name: &str, file: &str, source: &str) -> Vec<Violation>
         }
     }
 
+    // Rule 5: metric names must be catalogued in METRICS.md.
+    if let Some(catalog) = catalog {
+        if !METRIC_EXEMPT_CRATES.contains(&crate_name) {
+            metric_catalog_check(&s, file, catalog, &mut out);
+        }
+    }
+
     out.sort_by_key(|v| v.line);
     out
+}
+
+/// Rule 5 body: find every metric-macro call site in non-test code,
+/// extract its name literal from the raw view (the scrubber blanks
+/// string contents out of the code view) and require it to appear in
+/// the catalog — or carry a `// metric-ok:` waiver.
+fn metric_catalog_check(
+    s: &Scrubbed,
+    file: &str,
+    catalog: &MetricCatalog,
+    out: &mut Vec<Violation>,
+) {
+    for (ln, code) in s.code.iter().enumerate() {
+        if s.is_test[ln] {
+            continue;
+        }
+        for needle in METRIC_NEEDLES {
+            let mut pos = 0;
+            while let Some(p) = code[pos..].find(needle) {
+                let at = pos + p;
+                pos = at + needle.len();
+                // Token boundary on the left: `counter!(` must not match
+                // inside a longer macro name.
+                if code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                if annotated(s, ln, "metric-ok:") {
+                    continue;
+                }
+                match metric_name_at(&s.raw, ln, needle) {
+                    Some(name) if catalog.contains(&name) => {}
+                    Some(name) => out.push(Violation {
+                        file: file.to_owned(),
+                        line: ln + 1,
+                        rule: Rule::MetricCatalog,
+                        msg: format!(
+                            "metric name \"{name}\" is not catalogued in METRICS.md \
+                             (document it there or add a `// metric-ok:` waiver)"
+                        ),
+                    }),
+                    None => out.push(Violation {
+                        file: file.to_owned(),
+                        line: ln + 1,
+                        rule: Rule::MetricCatalog,
+                        msg: format!(
+                            "`{needle}…)` without a string-literal metric name; exported \
+                             names are external API and must be literals catalogued in \
+                             METRICS.md (or waived with `// metric-ok:`)"
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// The string literal naming the metric at a macro call site: the first
+/// quoted token after `needle` on the raw line, falling back to the next
+/// line for calls whose argument wrapped.
+fn metric_name_at(raw: &[String], ln: usize, needle: &str) -> Option<String> {
+    let start = raw[ln].find(needle)? + needle.len();
+    first_quoted(&raw[ln][start..]).or_else(|| raw.get(ln + 1).and_then(|l| first_quoted(l)))
+}
+
+fn first_quoted(s: &str) -> Option<String> {
+    let open = s.find('"')?;
+    let rest = &s[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_owned())
 }
 
 /// True when line `ln` sits behind a `#[cfg(feature = "obs")]` gate: the
@@ -642,7 +791,9 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// Lint the whole workspace rooted at `root`. Walks the root package's
 /// `src/` and `examples/` plus every `crates/*/src` (vendored shims and
 /// `tests/` trees are out of scope: the former are stand-ins, the latter
-/// are test code by definition).
+/// are test code by definition). Rule 5 reads the workspace `METRICS.md`;
+/// a missing catalog is itself a violation, so the rule cannot silently
+/// disappear.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
     let mut files = Vec::new();
     walk(&root.join("src"), &mut files)?;
@@ -661,16 +812,29 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
         }
     }
 
+    let catalog = std::fs::read_to_string(root.join("METRICS.md"))
+        .ok()
+        .map(|md| MetricCatalog::parse(&md));
+
     let mut violations = Vec::new();
+    if catalog.is_none() {
+        violations.push(Violation {
+            file: "METRICS.md".to_owned(),
+            line: 1,
+            rule: Rule::MetricCatalog,
+            msg: "METRICS.md is missing; the metric-name catalog is required".to_owned(),
+        });
+    }
     let nfiles = files.len();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let crate_name = crate_of(rel);
         let source = std::fs::read_to_string(&path)?;
-        violations.extend(lint_source(
+        violations.extend(lint_source_with_catalog(
             &crate_name,
             &rel.display().to_string(),
             &source,
+            catalog.as_ref(),
         ));
     }
     Ok((nfiles, violations))
@@ -697,7 +861,7 @@ pub fn run(root: &Path) -> std::io::Result<usize> {
         eprintln!("{v}");
     }
     if violations.is_empty() {
-        eprintln!("lint clean: {nfiles} files, 4 rules");
+        eprintln!("lint clean: {nfiles} files, 5 rules");
     } else {
         eprintln!("{} violation(s) in {nfiles} files", violations.len());
     }
@@ -760,6 +924,32 @@ mod tests {
         assert_eq!(v[0].rule, Rule::ObsFeatureGate);
         assert_eq!(v[0].line, 2);
         assert!(lint_source("obs", "f.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn metric_catalog_parses_backtick_tokens_and_checks_sites() {
+        let cat = MetricCatalog::parse(
+            "# Metrics\n\n| `a.count` | counter |\nprose mentions `b.depth` too, \
+             but `not a name` has spaces.\n",
+        );
+        assert_eq!(cat.len(), 2, "{cat:?}");
+        assert!(cat.contains("a.count") && cat.contains("b.depth"));
+        let ok = "fn f() { obs::counter!(\"a.count\").inc(); }\n";
+        assert!(lint_source_with_catalog("kernels", "f.rs", ok, Some(&cat)).is_empty());
+        let wrapped = "fn f() {\n    obs::counter!(\n        \"a.count\"\n    ).inc();\n}\n";
+        assert!(lint_source_with_catalog("kernels", "f.rs", wrapped, Some(&cat)).is_empty());
+        let bad = "fn f() { obs::gauge!(\"rogue.depth\").set(1); }\n";
+        let v = lint_source_with_catalog("kernels", "f.rs", bad, Some(&cat));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::MetricCatalog);
+        // A computed name cannot be checked against the catalog, so it
+        // is a violation unless waived.
+        let dynamic = "fn f(n: &'static str) { obs::counter!(n).inc(); }\n";
+        let v = lint_source_with_catalog("kernels", "f.rs", dynamic, Some(&cat));
+        assert_eq!(v.len(), 1, "{v:?}");
+        let waived = "// metric-ok: name computed per channel\n\
+                      fn f(n: &'static str) { obs::counter!(n).inc(); }\n";
+        assert!(lint_source_with_catalog("kernels", "f.rs", waived, Some(&cat)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Seeded metric-catalog violations for the lint's own test suite.
+//!
+//! The test catalog contains exactly `fixture.catalogued.count`; the
+//! lint must flag the rogue counter and gauge below (lines 9 and 10),
+//! accept the catalogued and waived sites, and skip test code.
+
+pub fn touch() {
+    obs::counter!("fixture.catalogued.count").inc();
+    obs::counter!("fixture.rogue.count").inc();
+    obs::gauge!("fixture.rogue.depth").set(1);
+    // metric-ok: fixture site exercising the waiver path
+    obs::histogram!("fixture.waived.hist").record(1);
+}
+
+pub fn wrapped() {
+    obs::counter!(
+        "fixture.catalogued.count"
+    )
+    .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    fn scratch() {
+        obs::counter!("fixture.testonly.count").inc();
+    }
+}

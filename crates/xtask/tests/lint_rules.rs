@@ -1,12 +1,13 @@
 //! The lint must fail on its own seeded-violation fixtures — and only on
 //! the seeded lines.
 
-use xtask::lint::{lint_source, Rule};
+use xtask::lint::{lint_source, lint_source_with_catalog, MetricCatalog, Rule};
 
 const BAD_PANIC: &str = include_str!("fixtures/bad_panic.rs");
 const BAD_RELAXED: &str = include_str!("fixtures/bad_relaxed.rs");
 const BAD_TAINT: &str = include_str!("fixtures/bad_taint.rs");
 const BAD_OBS_GATE: &str = include_str!("fixtures/bad_obs_gate.rs");
+const BAD_METRIC: &str = include_str!("fixtures/bad_metric.rs");
 
 #[test]
 fn no_panic_rule_catches_seeded_violations() {
@@ -57,6 +58,35 @@ fn obs_gate_rule_catches_seeded_violations() {
 #[test]
 fn obs_gate_rule_exempts_the_tracer_crate() {
     assert!(lint_source("obs", "fixtures/bad_obs_gate.rs", BAD_OBS_GATE).is_empty());
+}
+
+#[test]
+fn metric_catalog_rule_catches_uncatalogued_names() {
+    let catalog = MetricCatalog::parse("| `fixture.catalogued.count` | counter | a test |\n");
+    let v = lint_source_with_catalog(
+        "kernels",
+        "fixtures/bad_metric.rs",
+        BAD_METRIC,
+        Some(&catalog),
+    );
+    let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, vec![Rule::MetricCatalog; 2], "{v:?}");
+    let lines: Vec<_> = v.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![9, 10], "{v:?}");
+    assert!(v[0].msg.contains("fixture.rogue.count"), "{v:?}");
+    assert!(v[1].msg.contains("fixture.rogue.depth"), "{v:?}");
+}
+
+#[test]
+fn metric_catalog_rule_needs_a_catalog_and_exempts_the_metrics_crate() {
+    // Rules 1-4 only when no catalog is supplied.
+    assert!(lint_source("kernels", "fixtures/bad_metric.rs", BAD_METRIC).is_empty());
+    // The obs crate implements the macros and is exempt.
+    let catalog = MetricCatalog::parse("");
+    assert!(
+        lint_source_with_catalog("obs", "fixtures/bad_metric.rs", BAD_METRIC, Some(&catalog))
+            .is_empty()
+    );
 }
 
 #[test]

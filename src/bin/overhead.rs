@@ -10,10 +10,12 @@
 //!
 //! Part 2 answers the paper's question about our own stack: how much
 //! does the *indirection* cost? It times the same 16-metric nest fetch
-//! through the in-process daemon and through the TCP wire, reads the
-//! server's own `pmcd.fetch.latency_ns` self-metrics for the in-daemon
-//! handling share, and (when built with `--features obs`) attributes
-//! the PDU codec share from drained `wire.pdu.*` spans.
+//! through the in-process daemon and through the TCP wire, and (when
+//! built with `--features obs`) decomposes the wire RTT *mechanically*:
+//! every fetch PDU carries a trace id, the server echoes it in its
+//! handling span, and [`obs::stitch::mean_critical_path`] splits the
+//! stitched round trip into server fetch/dispatch, codec, and wire
+//! shares that sum to the RTT exactly — no hand arithmetic.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -21,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use p9_memsim::SimMachine;
-use pcp_sim::{InstanceId, PcpContext, PmApi, Pmcd, PmcdConfig, Pmns};
+use pcp_sim::{PcpContext, PmApi, Pmcd, PmcdConfig, Pmns};
 use pcp_wire::{PmcdServer, WireClient, WireConfig};
 
 /// DESIGN.md §9 budget: recording one span must cost at most this much
@@ -193,15 +195,6 @@ fn main() -> ExitCode {
         wire.pm_fetch(&requests).expect("wire warmup");
     }
 
-    let count_id = wire
-        .pm_lookup_name("pmcd.fetch.count")
-        .expect("self metric");
-    let sum_id = wire
-        .pm_lookup_name("pmcd.fetch.latency_ns.sum")
-        .expect("self metric");
-    let probe = [(count_id, InstanceId(0)), (sum_id, InstanceId(0))];
-    let before = wire.pm_fetch(&probe).expect("probe before");
-
     drop(obs::drain());
     let t0 = Instant::now();
     for _ in 0..FETCHES {
@@ -217,47 +210,36 @@ fn main() -> ExitCode {
     let wire_ns = t0.elapsed().as_nanos() as f64 / FETCHES as f64;
     let wire_events = obs::drain();
 
-    let after = wire.pm_fetch(&probe).expect("probe after");
-    let handled = after[0].saturating_sub(before[0]);
-    let server_ns = if handled > 0 {
-        after[1].saturating_sub(before[1]) as f64 / handled as f64
-    } else {
-        0.0
-    };
-
     println!("direct in-process fetch:   {:>10.0} ns/fetch", direct_ns);
     println!("wire TCP fetch:            {:>10.0} ns/fetch", wire_ns);
-    println!(
-        "  server-side handling:    {:>10.0} ns/fetch  (pmcd.fetch.latency_ns)",
-        server_ns
-    );
 
-    // Codec attribution from spans — present only when the stack was
-    // built with the obs feature; both client and server live in this
-    // process, so their encode/decode spans all land in our rings.
-    let encode_ns = label_mean_per_fetch(&wire_events, "wire.pdu.encode");
-    let decode_ns = label_mean_per_fetch(&wire_events, "wire.pdu.decode");
-    if wire_events.is_empty() {
-        println!("  (build with --features obs for codec and daemon span attribution)");
-    } else {
-        println!(
-            "  PDU encode, both sides:  {:>10.0} ns/fetch  ({} spans)",
-            encode_ns.0, encode_ns.1
-        );
-        println!(
-            "  PDU decode, both sides:  {:>10.0} ns/fetch  ({} spans)",
-            decode_ns.0, decode_ns.1
-        );
-        let rest = (wire_ns - server_ns - encode_ns.0 - decode_ns.0).max(0.0);
-        println!(
-            "  transport + scheduling:  {:>10.0} ns/fetch  (residual)",
-            rest
-        );
-        let daemon_spans = direct_events
-            .iter()
-            .filter(|e| e.label == "pmcd.fetch")
-            .count();
-        println!("direct daemon fetch spans: {daemon_spans} (in-process daemon traced end to end)");
+    // Mechanical decomposition from trace-id-stitched spans: every
+    // fetch PDU carried a trace id, the server echoed it, and both
+    // sides' rings drained into `wire_events` — so the critical-path
+    // analyzer splits the measured RTT with no hand arithmetic, and its
+    // shares sum to the stitched RTT exactly (obs::stitch).
+    match obs::stitch::mean_critical_path(&wire_events) {
+        Some(mean) => {
+            let stitched = obs::stitch::trace_ids(&wire_events).len();
+            println!(
+                "stitched round trips:      {stitched} of {FETCHES} ({} ns mean RTT)",
+                mean.rtt_ns
+            );
+            for (component, ns) in &mean.components {
+                println!("  {component:<24} {ns:>10} ns/fetch");
+            }
+            debug_assert_eq!(mean.total(), mean.rtt_ns);
+            let daemon_spans = direct_events
+                .iter()
+                .filter(|e| e.label == "pmcd.fetch")
+                .count();
+            println!(
+                "direct daemon fetch spans: {daemon_spans} (in-process daemon traced end to end)"
+            );
+        }
+        None => {
+            println!("  (build with --features obs to stitch the client/server critical path)");
+        }
     }
     println!(
         "indirection ratio:         {:>10.2}x (wire / direct)",
@@ -271,18 +253,4 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
-}
-
-/// Sum the durations of all spans with `label` and average them over
-/// the [`FETCHES`] round-trips; also returns the span count.
-fn label_mean_per_fetch(events: &[obs::SpanEvent], label: &str) -> (f64, usize) {
-    let mut total = 0u64;
-    let mut n = 0usize;
-    for e in events {
-        if e.label == label {
-            total += e.dur_ns;
-            n += 1;
-        }
-    }
-    (total as f64 / FETCHES as f64, n)
 }

@@ -118,11 +118,37 @@ fn compare_line(tag: &str, lineno: usize, got: &str, want: &str) {
 
 /// Re-run `tag` in its recorded mode (with a multi-worker pool, so this
 /// also exercises the parallel path) and gate it against the golden.
+/// A live [`obs::Monitor`] with the canonical threshold rules
+/// (DESIGN.md §11) watches the whole run; a clean catalog execution
+/// must never raise an alert.
 fn check_golden(tag: &'static str) {
     let (mode, want) = read_golden(tag);
     let exp = experiments::build(tag, mode, &Args::default())
         .unwrap_or_else(|| panic!("unknown experiment tag {tag}"));
+    let mut monitor = obs::Monitor::new(8, repro_bench::obsreport::canonical_rules());
+    monitor.tick(1_000_000_000, &obs::registry().export());
     let report = run_experiments(vec![exp], 4);
+    let final_export = obs::registry().export();
+    monitor.tick(61_000_000_000, &final_export);
+    assert!(
+        monitor.alerts().is_empty(),
+        "{tag}: derived rules fired on a golden run: {:?}",
+        monitor.alerts()
+    );
+    // Whatever the run registered became live series (schematics may
+    // register nothing), and every derived counter rate over the run
+    // window is finite and non-negative.
+    assert_eq!(
+        monitor.store().len(),
+        final_export.len(),
+        "{tag}: live series lag the registry"
+    );
+    for (name, rate) in monitor.derived() {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "{tag}: derived {name} = {rate}"
+        );
+    }
     let er = &report.experiments[0];
     assert!(
         er.errors.is_empty(),
