@@ -1,0 +1,208 @@
+//! Throughput and compression of the `papi-store` storage engine.
+//!
+//! Ingests a deterministic synthetic fleet — many counter series on a
+//! fixed cadence with pseudo-random traffic deltas, the shape a PMCD
+//! archiving loop produces — then reports:
+//!
+//! * single-threaded ingest throughput (samples/second, wall clock),
+//! * compression ratio of the sealed tier (raw 16-byte samples over
+//!   segment-file bytes),
+//! * query latency over windowed selector reads (mean and worst),
+//! * that retention/compaction preserves every surviving sample.
+//!
+//! The run fails if ingest drops below 1,000,000 samples/s
+//! single-threaded or the sealed tier fails to compress at all — either
+//! would make whole-run archives more expensive than the raw logs they
+//! replace. Like `wire_bench` this measures wall-clock behaviour, so it
+//! is not part of the deterministic `repro` catalog.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use obs::metrics::ExportSemantics;
+use store::{Selector, SeriesKey, Store, StoreConfig};
+
+const SERIES: usize = 16;
+const SAMPLES_PER_SERIES: u64 = 250_000;
+const CADENCE_NS: u64 = 1_000_000; // 1 kHz fleet sampling
+const QUERIES: usize = 200;
+const MIN_INGEST_SAMPLES_PER_S: f64 = 1_000_000.0;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("store_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Deterministic per-sample traffic delta (multiplicative-hash mix), so
+/// values are counter-shaped but not trivially constant.
+fn traffic_delta(series: u64, i: u64) -> u64 {
+    (series + 1)
+        .wrapping_mul(i.wrapping_mul(2654435761))
+        .wrapping_shr(16)
+        % 4096
+}
+
+fn run() -> Result<(), String> {
+    let store = Store::new(StoreConfig::default());
+    let keys: Vec<SeriesKey> = (0..SERIES)
+        .map(|s| {
+            SeriesKey::new(format!("mba.ch{}.bytes", s % 8)).with_label("host", format!("h{s}"))
+        })
+        .collect();
+
+    // --- Ingest phase: one writer, fleet-interleaved like a sampling
+    // scheduler (every series advances each tick).
+    let total = SERIES as u64 * SAMPLES_PER_SERIES;
+    let mut values = [0u64; SERIES];
+    let t0 = Instant::now();
+    for i in 0..SAMPLES_PER_SERIES {
+        let t_ns = (i + 1) * CADENCE_NS;
+        for (s, key) in keys.iter().enumerate() {
+            values[s] += traffic_delta(s as u64, i);
+            store
+                .ingest(key, ExportSemantics::Counter, t_ns, values[s])
+                .map_err(|e| format!("ingest: {e}"))?;
+        }
+    }
+    let ingest_elapsed = t0.elapsed();
+    store.flush().map_err(|e| format!("flush: {e}"))?;
+    let ingest_sps = total as f64 / ingest_elapsed.as_secs_f64();
+
+    let stats = store.stats();
+    if stats.samples != total {
+        return Err(format!(
+            "retained {} of {total} ingested samples",
+            stats.samples
+        ));
+    }
+    let ratio = store
+        .compression_ratio()
+        .ok_or("no sealed segments after flush")?;
+
+    println!("store_bench: {SERIES} series x {SAMPLES_PER_SERIES} samples ({total} total)");
+    println!(
+        "  ingest: {:.3} s single-threaded, {:.0} samples/s",
+        ingest_elapsed.as_secs_f64(),
+        ingest_sps
+    );
+    println!(
+        "  sealed tier: {} segments, {} compressed bytes, {ratio:.1}x over raw 16 B/sample",
+        stats.segments_flushed, stats.compressed_bytes
+    );
+
+    // --- Query phase: windowed selector reads across the whole span.
+    let span_ns = SAMPLES_PER_SERIES * CADENCE_NS;
+    let mut worst = Duration::ZERO;
+    let mut sum = Duration::ZERO;
+    let mut rows = 0usize;
+    for q in 0..QUERIES {
+        let from = (q as u64 * 37 % 100) * span_ns / 100;
+        let to = from + span_ns / 10;
+        let sel = Selector::metric("mba.*").with_label("host", format!("h{}", q % SERIES));
+        let t = Instant::now();
+        let hit = store
+            .query(&sel, from, to)
+            .map_err(|e| format!("query: {e}"))?;
+        let d = t.elapsed();
+        rows += hit.iter().map(|s| s.samples.len()).sum::<usize>();
+        sum += d;
+        worst = worst.max(d);
+    }
+    let mean_us = sum.as_secs_f64() * 1e6 / QUERIES as f64;
+    println!(
+        "  query: {QUERIES} windowed reads, mean {mean_us:.0} us, worst {:.0} us, {rows} rows",
+        worst.as_secs_f64() * 1e6
+    );
+
+    // --- Compaction phase: merge chunks, keep everything (no retention
+    // configured), and prove the data survived.
+    let t = Instant::now();
+    let compact = store
+        .compact(span_ns + 1)
+        .map_err(|e| format!("compact: {e}"))?;
+    let compact_s = t.elapsed().as_secs_f64();
+    let after = store.sample_count();
+    if after != total {
+        return Err(format!("compaction lost samples: {after} of {total}"));
+    }
+    println!(
+        "  compact: {} -> {} segments, {} chunks rewritten, {compact_s:.3} s, all {total} samples intact",
+        compact.segments_before, compact.segments_after, compact.chunks_rewritten
+    );
+
+    write_bench_store(ingest_sps, ratio, mean_us, worst, &stats, &compact);
+
+    if ingest_sps < MIN_INGEST_SAMPLES_PER_S {
+        return Err(format!(
+            "ingest {ingest_sps:.0} samples/s below the {MIN_INGEST_SAMPLES_PER_S} floor"
+        ));
+    }
+    if ratio <= 1.0 {
+        return Err(format!("compression ratio {ratio:.2} does not beat raw"));
+    }
+    println!("PASS: >= {MIN_INGEST_SAMPLES_PER_S} samples/s ingest, {ratio:.1}x compression");
+
+    repro_bench::obsreport::write_artifacts("store_bench");
+    Ok(())
+}
+
+/// Emit `results/BENCH_store.json`. Hand-rolled JSON — the workspace
+/// has no serde.
+fn write_bench_store(
+    ingest_sps: f64,
+    ratio: f64,
+    query_mean_us: f64,
+    query_worst: Duration,
+    stats: &store::StoreStats,
+    compact: &store::CompactStats,
+) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"series\": {SERIES},\n"));
+    json.push_str(&format!(
+        "  \"samples_per_series\": {SAMPLES_PER_SERIES},\n"
+    ));
+    json.push_str(&format!(
+        "  \"total_samples\": {},\n",
+        SERIES as u64 * SAMPLES_PER_SERIES
+    ));
+    json.push_str(&format!("  \"ingest_samples_per_s\": {:.0},\n", ingest_sps));
+    json.push_str(&format!("  \"compression_ratio\": {ratio:.2},\n"));
+    json.push_str(&format!(
+        "  \"compressed_bytes\": {},\n",
+        stats.compressed_bytes
+    ));
+    json.push_str(&format!("  \"chunks_sealed\": {},\n", stats.chunks_sealed));
+    json.push_str(&format!(
+        "  \"segments_flushed\": {},\n",
+        stats.segments_flushed
+    ));
+    json.push_str(&format!("  \"queries\": {QUERIES},\n"));
+    json.push_str(&format!("  \"query_mean_us\": {query_mean_us:.1},\n"));
+    json.push_str(&format!(
+        "  \"query_worst_us\": {:.1},\n",
+        query_worst.as_secs_f64() * 1e6
+    ));
+    json.push_str(&format!(
+        "  \"compact_segments_before\": {},\n",
+        compact.segments_before
+    ));
+    json.push_str(&format!(
+        "  \"compact_segments_after\": {},\n",
+        compact.segments_after
+    ));
+    json.push_str(&format!(
+        "  \"compact_chunks_rewritten\": {}\n",
+        compact.chunks_rewritten
+    ));
+    json.push_str("}\n");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/BENCH_store.json", &json).is_ok()
+    {
+        println!("  wrote results/BENCH_store.json");
+    }
+}

@@ -13,8 +13,28 @@
 //! OpenMetrics exposition ([`crate::openmetrics`]) both read from it.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::metrics::{ExportSemantics, Exported};
+
+/// Where a full ring sends the points it would otherwise discard.
+///
+/// Implemented by the `papi-store` crate's `StoreSpill` (the trait
+/// lives here so `obs` never depends on the storage engine). A store
+/// attached via [`SeriesStore::with_spill`] receives every evicted
+/// sample and serves old windows back through
+/// [`SeriesStore::window`] — the live monitor reads recent points from
+/// the ring and older ones from compressed history transparently.
+pub trait SpillSink: Send + Sync {
+    /// Accept one evicted sample of the series `name`. Eviction order
+    /// is ring order, so timestamps arrive strictly increasing per
+    /// series; a sink may drop duplicates to stay exactly-once.
+    fn spill(&self, name: &str, semantics: ExportSemantics, sample: Sample);
+
+    /// Samples of `name` inside the inclusive window
+    /// `[t_from_ns, t_to_ns]`, oldest first.
+    fn read(&self, name: &str, t_from_ns: u64, t_to_ns: u64) -> Vec<Sample>;
+}
 
 /// One observation of a scalar metric at a caller-supplied time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,23 +108,58 @@ impl Series {
     /// Samples whose timestamp does not advance past the latest one are
     /// ignored — a series is strictly ordered in time by construction.
     pub fn push(&mut self, t_ns: u64, value: u64) {
+        let _ = self.push_evicting(t_ns, value);
+    }
+
+    /// [`push`](Self::push), returning the sample the ring had to evict
+    /// to make room (if any) so the caller can spill or count it.
+    pub fn push_evicting(&mut self, t_ns: u64, value: u64) -> Option<Sample> {
         if let Some(last) = self.samples.back() {
             if t_ns <= last.t_ns {
-                return;
+                return None;
             }
         }
-        if self.samples.len() == self.capacity {
-            self.samples.pop_front();
-        }
+        let evicted = if self.samples.len() == self.capacity {
+            self.samples.pop_front()
+        } else {
+            None
+        };
         self.samples.push_back(Sample { t_ns, value });
+        evicted
+    }
+
+    /// Rebuild a series from already-ordered samples (e.g. a window
+    /// read back out of compressed storage), so every [`crate::derive`]
+    /// function applies to archived history exactly as it does to the
+    /// live ring. Out-of-order samples are dropped by [`push`], same as
+    /// live.
+    pub fn from_samples(name: String, semantics: ExportSemantics, samples: &[Sample]) -> Self {
+        let mut s = Series::new(name, semantics, samples.len().max(2));
+        for p in samples {
+            s.push(p.t_ns, p.value);
+        }
+        s
     }
 }
 
 /// A set of named series, one ring per metric.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SeriesStore {
     capacity: usize,
     series: Vec<Series>,
+    spill: Option<Arc<dyn SpillSink>>,
+    evicted: u64,
+}
+
+impl std::fmt::Debug for SeriesStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesStore")
+            .field("capacity", &self.capacity)
+            .field("series", &self.series)
+            .field("spill", &self.spill.is_some())
+            .field("evicted", &self.evicted)
+            .finish()
+    }
 }
 
 impl SeriesStore {
@@ -115,7 +170,24 @@ impl SeriesStore {
         SeriesStore {
             capacity: capacity.max(2),
             series: Vec::new(),
+            spill: None,
+            evicted: 0,
         }
+    }
+
+    /// Attach a spill sink: points evicted from full rings land there
+    /// instead of being dropped, and [`window`](Self::window) reads
+    /// them back.
+    pub fn with_spill(mut self, sink: Arc<dyn SpillSink>) -> Self {
+        self.spill = Some(sink);
+        self
+    }
+
+    /// Points dropped on the floor by full rings (evictions with no
+    /// spill sink attached). Spilled points are not lost and are not
+    /// counted here.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Append one sample at `t_ns` for every exported scalar, creating
@@ -128,14 +200,49 @@ impl SeriesStore {
     }
 
     /// Append one sample to the series `name`, creating it on first use.
+    /// When a full ring must evict its oldest point, the point goes to
+    /// the spill sink if one is attached; otherwise it is genuinely
+    /// lost, which is reported (`obs.series.evicted` counter plus an
+    /// instant event) rather than silent.
     pub fn push(&mut self, name: &str, semantics: ExportSemantics, t_ns: u64, value: u64) {
-        if let Some(s) = self.series.iter_mut().find(|s| s.name == name) {
+        let evicted = if let Some(s) = self.series.iter_mut().find(|s| s.name == name) {
+            s.push_evicting(t_ns, value)
+        } else {
+            let mut s = Series::new(name.to_string(), semantics, self.capacity);
             s.push(t_ns, value);
-            return;
+            self.series.push(s);
+            None
+        };
+        if let Some(sample) = evicted {
+            match &self.spill {
+                Some(sink) => sink.spill(name, semantics, sample),
+                None => {
+                    self.evicted += 1;
+                    crate::counter!("obs.series.evicted").inc();
+                    crate::instant!("obs.series.evicted", sample.t_ns);
+                }
+            }
         }
-        let mut s = Series::new(name.to_string(), semantics, self.capacity);
-        s.push(t_ns, value);
-        self.series.push(s);
+    }
+
+    /// Samples of `name` inside the inclusive window
+    /// `[t_from_ns, t_to_ns]`, oldest first: spilled history first (if
+    /// a sink is attached), then the live ring tail. Callers cannot
+    /// tell where the ring ends and compressed storage begins.
+    pub fn window(&self, name: &str, t_from_ns: u64, t_to_ns: u64) -> Vec<Sample> {
+        let mut out = match &self.spill {
+            Some(sink) => sink.read(name, t_from_ns, t_to_ns),
+            None => Vec::new(),
+        };
+        let newest_spilled = out.last().map(|s| s.t_ns);
+        if let Some(series) = self.get(name) {
+            out.extend(series.iter().filter(|s| {
+                s.t_ns >= t_from_ns
+                    && s.t_ns <= t_to_ns
+                    && newest_spilled.is_none_or(|n| s.t_ns > n)
+            }));
+        }
+        out
     }
 
     /// The series for `name`, if any sample has been observed.
@@ -209,5 +316,57 @@ mod tests {
     fn capacity_is_clamped_to_a_window() {
         let store = SeriesStore::new(0);
         assert_eq!(store.capacity, 2);
+    }
+
+    #[test]
+    fn spill_less_eviction_is_counted_not_silent() {
+        let mut store = SeriesStore::new(2);
+        let before = crate::counter!("obs.series.evicted").get();
+        for t in 1..=5u64 {
+            store.push("lossy", ExportSemantics::Instant, t * 10, t);
+        }
+        // Ring kept 2 of 5; the 3 dropped points are reported.
+        assert_eq!(store.evicted(), 3);
+        assert_eq!(crate::counter!("obs.series.evicted").get() - before, 3);
+        // Without a spill sink, window() is just the ring tail.
+        let w = store.window("lossy", 0, u64::MAX);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].t_ns, 40);
+    }
+
+    struct VecSink(std::sync::Mutex<Vec<(String, Sample)>>);
+
+    impl SpillSink for VecSink {
+        fn spill(&self, name: &str, _semantics: ExportSemantics, sample: Sample) {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((name.to_string(), sample));
+        }
+        fn read(&self, name: &str, t_from_ns: u64, t_to_ns: u64) -> Vec<Sample> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .filter(|(n, s)| n == name && s.t_ns >= t_from_ns && s.t_ns <= t_to_ns)
+                .map(|(_, s)| *s)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn spilled_evictions_are_not_lost_and_window_merges() {
+        let sink = Arc::new(VecSink(std::sync::Mutex::new(Vec::new())));
+        let mut store = SeriesStore::new(2).with_spill(sink.clone());
+        for t in 1..=5u64 {
+            store.push("kept", ExportSemantics::Counter, t * 10, t);
+        }
+        assert_eq!(store.evicted(), 0, "spilled points are not lost points");
+        let w = store.window("kept", 0, u64::MAX);
+        let ts: Vec<u64> = w.iter().map(|s| s.t_ns).collect();
+        assert_eq!(ts, vec![10, 20, 30, 40, 50]);
+        // Windows clip on both sides and stay strictly ordered.
+        let mid = store.window("kept", 20, 40);
+        assert_eq!(mid.len(), 3);
     }
 }

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use pcp_sim::pmns::{InstanceId, MetricId};
 use pcp_sim::{Archive, ArchiveRecord, PcpError, PmApi};
+use store::{Selector, SeriesKey, Store, StoreError};
 
 /// One logging group: a named metric set sampled at a fixed cadence.
 #[derive(Clone, Debug)]
@@ -54,6 +55,27 @@ impl SamplingScheduler {
         ctx: impl PmApi + 'static,
         specs: Vec<ScheduleSpec>,
     ) -> Result<Self, std::io::Error> {
+        Self::launch(ctx, specs, None)
+    }
+
+    /// [`start`](Self::start), with every sample *also* ingested into
+    /// `store` as it is appended to the archive. Both writes share one
+    /// timestamp (`time_s = t_ns / 1e9`, computed once per fetch), so
+    /// the store-backed record stream is sample-identical to the log —
+    /// see [`archive_from_store`].
+    pub fn start_with_store(
+        ctx: impl PmApi + 'static,
+        specs: Vec<ScheduleSpec>,
+        store: Arc<Store>,
+    ) -> Result<Self, std::io::Error> {
+        Self::launch(ctx, specs, Some(store))
+    }
+
+    fn launch(
+        ctx: impl PmApi + 'static,
+        specs: Vec<ScheduleSpec>,
+        store: Option<Arc<Store>>,
+    ) -> Result<Self, std::io::Error> {
         assert!(!specs.is_empty(), "scheduler needs at least one group");
         for s in &specs {
             assert!(
@@ -79,7 +101,7 @@ impl SamplingScheduler {
         let t_stop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("pmlogger".into())
-            .spawn(move || sample_loop(Box::new(ctx), t_groups, t_stop))?;
+            .spawn(move || sample_loop(Box::new(ctx), t_groups, t_stop, store))?;
 
         Ok(SamplingScheduler {
             stop,
@@ -123,7 +145,20 @@ impl Drop for SamplingScheduler {
     }
 }
 
-fn sample_loop(ctx: Box<dyn PmApi>, groups: Arc<Mutex<Vec<Group>>>, stop: Arc<AtomicBool>) {
+/// The store key for one column of a logging group's archive: the
+/// group is the metric name, the PMNS identity rides in labels.
+fn series_key(group: &str, id: MetricId, inst: InstanceId) -> SeriesKey {
+    SeriesKey::new(group)
+        .with_label("metric", id.0.to_string())
+        .with_label("inst", inst.0.to_string())
+}
+
+fn sample_loop(
+    ctx: Box<dyn PmApi>,
+    groups: Arc<Mutex<Vec<Group>>>,
+    stop: Arc<AtomicBool>,
+    store: Option<Arc<Store>>,
+) {
     let epoch = Instant::now();
     while !stop.load(Ordering::SeqCst) {
         let now = epoch.elapsed();
@@ -135,11 +170,27 @@ fn sample_loop(ctx: Box<dyn PmApi>, groups: Arc<Mutex<Vec<Group>>>, stop: Arc<At
                     continue;
                 }
                 if now >= g.next_due {
+                    // One timestamp per fetch, shared verbatim by the
+                    // archive record and the store ingest, so the two
+                    // histories agree by construction.
+                    let t_ns = now.as_nanos() as u64;
                     match ctx.pm_fetch(g.archive.metrics()) {
-                        Ok(values) => g.archive.push(ArchiveRecord {
-                            time_s: now.as_secs_f64(),
-                            values,
-                        }),
+                        Ok(values) => {
+                            if let Some(store) = &store {
+                                for ((id, inst), v) in g.archive.metrics().iter().zip(&values) {
+                                    let _ = store.ingest(
+                                        &series_key(&g.name, *id, *inst),
+                                        obs::metrics::ExportSemantics::Counter,
+                                        t_ns,
+                                        *v,
+                                    );
+                                }
+                            }
+                            g.archive.push(ArchiveRecord {
+                                time_s: t_ns as f64 / 1e9,
+                                values,
+                            });
+                        }
                         Err(e) => {
                             g.error = Some(e);
                             continue;
@@ -163,6 +214,51 @@ fn sample_loop(ctx: Box<dyn PmApi>, groups: Arc<Mutex<Vec<Group>>>, stop: Arc<At
             std::thread::sleep((next_wake - now).min(Duration::from_millis(20)));
         }
     }
+}
+
+/// Rebuild a logging group's [`Archive`] out of the compressed store.
+///
+/// With [`SamplingScheduler::start_with_store`] every fetch lands in
+/// both histories under one timestamp, so the rebuilt archive is
+/// *sample-identical* to the wall-clock log: same record count, same
+/// `time_s` (bit-for-bit — both sides compute `t_ns as f64 / 1e9`),
+/// same values in the same column order.
+pub fn archive_from_store(
+    store: &Store,
+    group: &str,
+    metrics: Vec<(MetricId, InstanceId)>,
+) -> Result<Archive, StoreError> {
+    let mut columns: Vec<Vec<store::SeriesData>> = Vec::with_capacity(metrics.len());
+    for (id, inst) in &metrics {
+        let key = series_key(group, *id, *inst);
+        let sel = Selector::metric(key.metric())
+            .with_label("metric", id.0.to_string())
+            .with_label("inst", inst.0.to_string());
+        columns.push(store.query(&sel, 0, u64::MAX)?);
+    }
+    let rows = columns
+        .first()
+        .and_then(|c| c.first())
+        .map_or(0, |d| d.samples.len());
+    let mut archive = Archive::new(metrics);
+    for row in 0..rows {
+        let mut t_ns = None;
+        let mut values = Vec::with_capacity(columns.len());
+        for col in &columns {
+            let Some(sample) = col.first().and_then(|d| d.samples.get(row)) else {
+                return Err(StoreError::Corrupt("store columns have unequal lengths"));
+            };
+            if *t_ns.get_or_insert(sample.t_ns) != sample.t_ns {
+                return Err(StoreError::Corrupt("store columns disagree on timestamps"));
+            }
+            values.push(sample.value);
+        }
+        archive.push(ArchiveRecord {
+            time_s: t_ns.unwrap_or(0) as f64 / 1e9,
+            values,
+        });
+    }
+    Ok(archive)
 }
 
 #[cfg(test)]
@@ -250,6 +346,40 @@ mod tests {
         let (_, archive, err) = out.remove(0);
         assert_eq!(archive.len(), 3);
         assert_eq!(err, Some(PcpError::Disconnected));
+    }
+
+    #[test]
+    fn store_backed_archive_is_sample_identical_to_the_log() {
+        let stub = Stub {
+            calls: 0.into(),
+            fail_after: u64::MAX,
+        };
+        let store = Arc::new(Store::default());
+        let metrics = vec![(MetricId(3), InstanceId(0)), (MetricId(9), InstanceId(4))];
+        let sched = SamplingScheduler::start_with_store(
+            stub,
+            vec![ScheduleSpec {
+                name: "dual".into(),
+                metrics: metrics.clone(),
+                interval: Duration::from_millis(10),
+            }],
+            Arc::clone(&store),
+        )
+        .expect("start");
+        std::thread::sleep(Duration::from_millis(120));
+        let mut out = sched.stop();
+        let (_, logged, err) = out.remove(0);
+        assert!(err.is_none());
+        assert!(logged.len() >= 4, "only {} samples", logged.len());
+
+        let rebuilt = archive_from_store(&store, "dual", metrics).expect("rebuild");
+        assert_eq!(rebuilt.len(), logged.len());
+        for (a, b) in rebuilt.records().iter().zip(logged.records()) {
+            // Bit-identical timestamps: both sides compute t_ns / 1e9
+            // from the same u64, so exact f64 equality is required.
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(a.values, b.values);
+        }
     }
 
     #[test]

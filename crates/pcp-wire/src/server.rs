@@ -678,7 +678,7 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
             // One registry snapshot answers every `pmcd.obs.*` id in the
             // batch: re-exporting per request would let counters advance
             // mid-fetch and return torn batches (count moved, sum not).
-            let mut obs_snap: Option<Vec<obs::metrics::Exported>> = None;
+            let mut obs_snap: Option<obs::Snapshot> = None;
             let values = {
                 #[cfg(feature = "obs")]
                 let _fetch_span = obs::span!("pmcd.fetch", requests.len());
@@ -725,7 +725,12 @@ pub(crate) fn unix_ns() -> u64 {
 /// byte-identical modulo the `# scrape_ts_ns` header.
 pub(crate) fn exposition_text(shared: &Shared, scrape_ts_ns: u64) -> String {
     use obs::openmetrics::{sanitize, MetricKind, OmSample, Value};
-    let export = obs::registry().export();
+    // One Snapshot pairs the scalars with the scrape timestamp — the
+    // same snapshot→samples path the store ingest and the archive
+    // scheduler use, so every consumer stamps a registry read the same
+    // way by construction.
+    let snap = obs::Snapshot::take_global(scrape_ts_ns);
+    let export = snap.scalars;
     let mut samples: Vec<OmSample> = Vec::with_capacity(SELF_METRICS.len() + export.len());
     for (idx, &(name, _units, semantics)) in SELF_METRICS.iter().enumerate() {
         let value = match idx {
@@ -765,11 +770,11 @@ fn fetch_one(
     shared: &Shared,
     id: u32,
     inst: u32,
-    obs_snap: &mut Option<Vec<obs::metrics::Exported>>,
+    obs_snap: &mut Option<obs::Snapshot>,
 ) -> Option<u64> {
     if id >= OBS_METRIC_BASE {
-        let snap = obs_snap.get_or_insert_with(|| obs::registry().export());
-        return selfmetrics::obs_value_from(snap, MetricId(id));
+        let snap = obs_snap.get_or_insert_with(|| obs::Snapshot::take_global(unix_ns()));
+        return selfmetrics::obs_value_from(&snap.scalars, MetricId(id));
     }
     if id >= SELF_METRIC_BASE {
         return match (id - SELF_METRIC_BASE) as usize {

@@ -1,0 +1,139 @@
+//! The ring → store spill bridge.
+//!
+//! [`obs::SeriesStore`] keeps a bounded live ring per series; before
+//! this crate existed, a full ring silently discarded its oldest point.
+//! [`StoreSpill`] implements [`obs::series::SpillSink`] over a shared
+//! [`Store`], so evicted points land in compressed history instead and
+//! [`obs::SeriesStore::window`] serves old windows back out of the
+//! store transparently — the live [`obs::Monitor`] reads recent points
+//! from its ring and anything older from here without knowing the
+//! difference.
+
+use std::sync::Arc;
+
+use obs::metrics::ExportSemantics;
+use obs::series::{Sample, SpillSink};
+
+use crate::index::{Selector, SeriesKey};
+use crate::Store;
+
+/// A [`SpillSink`] that lands evicted ring points in a [`Store`].
+#[derive(Clone, Debug)]
+pub struct StoreSpill {
+    store: Arc<Store>,
+    /// Labels attached to every spilled series (e.g. `host`), so fleet
+    /// aggregation can tell rings apart.
+    labels: Vec<(String, String)>,
+}
+
+impl StoreSpill {
+    /// Spill into `store` with no extra labels.
+    pub fn new(store: Arc<Store>) -> Self {
+        StoreSpill {
+            store,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Attach a label to every spilled series.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    fn key(&self, name: &str) -> SeriesKey {
+        let mut key = SeriesKey::new(name);
+        for (k, v) in &self.labels {
+            key = key.with_label(k.clone(), v.clone());
+        }
+        key
+    }
+}
+
+impl SpillSink for StoreSpill {
+    fn spill(&self, name: &str, semantics: ExportSemantics, sample: Sample) {
+        // Eviction order is ring order, so out-of-order here can only
+        // mean the same point spilled twice (e.g. a cloned store) —
+        // dropping it keeps history exactly-once.
+        let _ = self
+            .store
+            .ingest(&self.key(name), semantics, sample.t_ns, sample.value);
+    }
+
+    fn read(&self, name: &str, t_from_ns: u64, t_to_ns: u64) -> Vec<Sample> {
+        let mut sel = Selector::metric(name);
+        for (k, v) in &self.labels {
+            sel = sel.with_label(k.clone(), v.clone());
+        }
+        match self.store.query(&sel, t_from_ns, t_to_ns) {
+            Ok(mut data) if !data.is_empty() => std::mem::take(&mut data[0].samples),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreConfig;
+    use obs::metrics::Registry;
+    use obs::SeriesStore;
+
+    #[test]
+    fn evicted_points_spill_and_read_back_transparently() {
+        let store = Arc::new(Store::new(StoreConfig {
+            chunk_samples: 4,
+            segment_bytes: 64,
+            retention_ns: None,
+        }));
+        let mut ring =
+            SeriesStore::new(3).with_spill(Arc::new(StoreSpill::new(Arc::clone(&store))));
+        let reg = Registry::new();
+        let c = reg.counter("spill.test.count");
+        for i in 1..=10u64 {
+            c.add(2);
+            ring.observe(i * 1_000, &reg.export());
+        }
+        // Ring keeps the newest 3; the 7 older points are in the store.
+        assert_eq!(ring.get("spill.test.count").map(|s| s.len()), Some(3));
+        assert_eq!(ring.evicted(), 0, "spilled points are not lost points");
+        assert_eq!(store.sample_count(), 7);
+        // window() merges store history and ring tail transparently.
+        let full = ring.window("spill.test.count", 0, u64::MAX);
+        assert_eq!(full.len(), 10);
+        let ts: Vec<u64> = full.iter().map(|s| s.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(full[0].value, 2);
+        assert_eq!(full[9].value, 20);
+        // An old-only window comes purely from the store.
+        let old = ring.window("spill.test.count", 1_000, 5_000);
+        assert_eq!(old.len(), 5);
+    }
+
+    #[test]
+    fn labels_isolate_hosts() {
+        let store = Arc::new(Store::default());
+        let a = StoreSpill::new(Arc::clone(&store)).with_label("host", "a");
+        let b = StoreSpill::new(Arc::clone(&store)).with_label("host", "b");
+        let s = Sample {
+            t_ns: 1_000,
+            value: 5,
+        };
+        a.spill("m", ExportSemantics::Counter, s);
+        b.spill(
+            "m",
+            ExportSemantics::Counter,
+            Sample {
+                t_ns: 1_000,
+                value: 9,
+            },
+        );
+        assert_eq!(a.read("m", 0, u64::MAX)[0].value, 5);
+        assert_eq!(b.read("m", 0, u64::MAX)[0].value, 9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based acceptance tests for the storage engine: the full
+//! write→compact→query pipeline must agree with a naive in-memory
+//! reference over randomized series, including values past 2^53 (where
+//! an f64-based codec would silently round) and counter resets landing
+//! mid-chunk.
+
+use proptest::prelude::*;
+
+use obs::metrics::ExportSemantics;
+use obs::series::Sample;
+use store::{chunk, Selector, SeriesKey, Store, StoreConfig, StoreError};
+
+/// Turn random positive time steps and arbitrary values into a strictly
+/// time-ordered sample run.
+fn samples_from(steps: &[(u64, u64)]) -> Vec<Sample> {
+    let mut t = 0u64;
+    steps
+        .iter()
+        .map(|&(dt, value)| {
+            t += dt;
+            Sample { t_ns: t, value }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunk encode→decode is the identity on any strictly ordered run,
+    /// over the full u64 value range — delta-of-delta + XOR varints are
+    /// exact, unlike any f64-mediated codec.
+    #[test]
+    fn chunk_round_trip_is_identity(
+        steps in prop::collection::vec((1u64..1_000_000_000, 0u64..=u64::MAX), 1..300)
+    ) {
+        let samples = samples_from(&steps);
+        let c = chunk::encode(&samples).expect("ordered run encodes");
+        prop_assert_eq!(c.count() as usize, samples.len());
+        prop_assert_eq!(c.min_t(), samples[0].t_ns);
+        prop_assert_eq!(c.max_t(), samples[samples.len() - 1].t_ns);
+        let back = c.samples().expect("own bytes decode");
+        prop_assert_eq!(back, samples);
+    }
+
+    /// The full pipeline — ingest through small chunks and segments,
+    /// flush, compact, query — returns exactly what a Vec would.
+    #[test]
+    fn write_compact_query_agrees_with_naive_reference(
+        steps in prop::collection::vec((1u64..1_000_000, 0u64..=u64::MAX), 1..400),
+        chunk_samples in 2usize..32,
+        window in (0u64..500_000_000, 0u64..500_000_000),
+    ) {
+        let reference = samples_from(&steps);
+        let store = Store::new(StoreConfig {
+            chunk_samples,
+            segment_bytes: 256,
+            retention_ns: None,
+        });
+        let key = SeriesKey::new("prop.series").with_label("host", "h0");
+        for s in &reference {
+            store.ingest(&key, ExportSemantics::Counter, s.t_ns, s.value).expect("in-order ingest");
+        }
+        store.flush().expect("flush");
+        store.compact(u64::MAX).expect("compact");
+
+        let (from, to) = (window.0.min(window.1), window.0.max(window.1));
+        let expected: Vec<Sample> = reference.iter()
+            .filter(|s| s.t_ns >= from && s.t_ns <= to)
+            .copied()
+            .collect();
+        let got = store.query(&Selector::metric("prop.*"), from, to).expect("query");
+        let got_samples = got.first().map(|d| d.samples.clone()).unwrap_or_default();
+        prop_assert_eq!(got_samples, expected);
+
+        // And the whole run survives verbatim.
+        let all = store.query(&Selector::metric("prop.series"), 0, u64::MAX).expect("query all");
+        prop_assert_eq!(&all[0].samples, &reference);
+        prop_assert_eq!(all[0].semantics, ExportSemantics::Counter);
+    }
+
+    /// Zero (or negative) time steps are rejected at every layer: the
+    /// chunk codec refuses to encode them and ingest refuses to accept
+    /// them, so decoded history is strictly ordered by construction.
+    #[test]
+    fn zero_dt_is_rejected(
+        prefix in prop::collection::vec((1u64..1_000, 0u64..1_000), 1..20),
+        dup_at in 0usize..20,
+    ) {
+        let mut samples = samples_from(&prefix);
+        let dup = samples[dup_at.min(samples.len() - 1)];
+        samples.push(dup); // same timestamp again: zero dt somewhere
+        samples.sort_by_key(|s| s.t_ns);
+        let rejected = matches!(
+            chunk::encode(&samples),
+            Err(StoreError::OutOfOrder { .. })
+        );
+        prop_assert!(rejected, "codec accepted a zero-dt run");
+
+        let store = Store::default();
+        let key = SeriesKey::new("dup");
+        let last = samples[samples.len() - 1];
+        store.ingest(&key, ExportSemantics::Instant, last.t_ns, last.value).expect("first in");
+        let again = store.ingest(&key, ExportSemantics::Instant, last.t_ns, 7);
+        let rejected = matches!(again, Err(StoreError::OutOfOrder { .. }));
+        prop_assert!(rejected, "ingest accepted a non-advancing timestamp");
+    }
+}
+
+/// Values past 2^53 survive the pipeline bit-for-bit — the explicit
+/// regression for codecs that route sample values through f64.
+#[test]
+fn values_past_2_pow_53_survive_exactly() {
+    let big = (1u64 << 53) + 1; // first integer an f64 cannot hold
+    let samples = [
+        Sample {
+            t_ns: 1_000,
+            value: big,
+        },
+        Sample {
+            t_ns: 2_000,
+            value: u64::MAX - 1,
+        },
+        Sample {
+            t_ns: 3_000,
+            value: u64::MAX,
+        },
+        Sample {
+            t_ns: 4_000,
+            value: big + 12345,
+        },
+    ];
+    let c = chunk::encode(&samples).expect("encode");
+    assert_eq!(c.samples().expect("decode"), samples);
+
+    let store = Store::new(StoreConfig {
+        chunk_samples: 2,
+        segment_bytes: 64,
+        retention_ns: None,
+    });
+    let key = SeriesKey::new("huge");
+    for s in &samples {
+        store
+            .ingest(&key, ExportSemantics::Counter, s.t_ns, s.value)
+            .expect("ingest");
+    }
+    store.flush().expect("flush");
+    let got = store
+        .query(&Selector::metric("huge"), 0, u64::MAX)
+        .expect("query");
+    assert_eq!(got[0].samples, samples);
+}
+
+/// A counter reset landing mid-chunk: the XOR codec round-trips the
+/// drop exactly, and the reused `obs::derive` delta saturates at zero
+/// instead of going negative — same answer the live monitor gives.
+#[test]
+fn counter_reset_mid_chunk_survives_and_saturates() {
+    let mut samples = Vec::new();
+    for i in 0..10u64 {
+        // Counter climbs, the process restarts at i == 6, counter
+        // restarts near zero mid-chunk.
+        let value = if i < 6 { 1_000 + i * 500 } else { (i - 6) * 40 };
+        samples.push(Sample {
+            t_ns: (i + 1) * 1_000_000,
+            value,
+        });
+    }
+    let store = Store::new(StoreConfig {
+        chunk_samples: 10, // the whole run, reset included, in one chunk
+        segment_bytes: 64,
+        retention_ns: None,
+    });
+    let key = SeriesKey::new("resetting.count");
+    for s in &samples {
+        store
+            .ingest(&key, ExportSemantics::Counter, s.t_ns, s.value)
+            .expect("ingest");
+    }
+    store.flush().expect("flush");
+    let got = store
+        .query(&Selector::metric("resetting.count"), 0, u64::MAX)
+        .expect("query");
+    assert_eq!(got[0].samples, samples, "reset survives compression");
+    // Window spanning the reset: latest (160) < oldest (1000), so the
+    // counter delta saturates to zero rather than underflowing.
+    assert_eq!(got[0].derive(store::Derivation::Delta), Some(0.0));
+    assert_eq!(got[0].derive(store::Derivation::Rate), Some(0.0));
+}

@@ -50,8 +50,10 @@ use std::path::{Path, PathBuf};
 /// Crates whose non-test code must be panic-free (rule 1). `bench` is
 /// held to the same bar as the daemons: a failed sweep point must
 /// surface as a typed `RunnerError` that fails its experiment, never as
-/// a panic that kills the whole reproduction run.
-const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench"];
+/// a panic that kills the whole reproduction run. `store` holds whole
+/// archived runs — a panic there loses history, so every fallible path
+/// must return a typed `StoreError`.
+const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench", "store"];
 
 /// Crates allowed to read `NestCounters` without a token (rule 3): they
 /// implement the privilege boundary rather than crossing it.

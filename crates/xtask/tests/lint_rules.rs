@@ -25,6 +25,15 @@ fn no_panic_rule_only_applies_to_server_codec_crates() {
 }
 
 #[test]
+fn no_panic_rule_covers_the_storage_engine() {
+    // The store crate holds whole archived runs; a panic there loses
+    // history, so it is held to the same bar as the daemons.
+    let v = lint_source("store", "fixtures/bad_panic.rs", BAD_PANIC);
+    let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, vec![Rule::NoPanic; 3], "{v:?}");
+}
+
+#[test]
 fn relaxed_rule_requires_justification() {
     let v = lint_source("memsim", "fixtures/bad_relaxed.rs", BAD_RELAXED);
     assert_eq!(v.len(), 1, "{v:?}");

@@ -1,0 +1,129 @@
+//! Tier-1 acceptance for the storage tier (DESIGN.md §12): the
+//! compressed store really sits underneath both of its consumers — the
+//! live monitoring ring and the registry-snapshot/archive path — and
+//! the three layers agree on timestamps and values by construction.
+
+use std::sync::Arc;
+
+use obs::metrics::{ExportSemantics, Registry};
+use obs::{Monitor, Snapshot};
+use store::{Selector, SeriesKey, Store, StoreConfig, StoreSpill};
+
+/// Registry snapshots ingested under a prefix+labels come back out of a
+/// selector query with the snapshot's exact timestamps — the unified
+/// snapshot→samples path end to end.
+#[test]
+fn registry_snapshots_flow_into_the_store_with_one_timestamp() {
+    let reg = Registry::new();
+    let traffic = reg.counter("memsim.mba.bytes");
+    let store = Store::default();
+
+    for tick in 1..=5u64 {
+        traffic.add(1000 * tick);
+        let snap = Snapshot::take(&reg, tick * 1_000_000_000);
+        store
+            .ingest_snapshot("pmcd.obs.", &[("host", "summit-17")], &snap)
+            .expect("snapshot ingest");
+    }
+    store.flush().expect("flush");
+
+    let got = store
+        .query(
+            &Selector::metric("pmcd.obs.memsim.*").with_label("host", "summit-17"),
+            0,
+            u64::MAX,
+        )
+        .expect("query");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].key.metric(), "pmcd.obs.memsim.mba.bytes");
+    assert_eq!(got[0].semantics, ExportSemantics::Counter);
+    let ts: Vec<u64> = got[0].samples.iter().map(|s| s.t_ns).collect();
+    assert_eq!(
+        ts,
+        (1..=5u64).map(|t| t * 1_000_000_000).collect::<Vec<_>>(),
+        "stored timestamps are the snapshot timestamps, verbatim"
+    );
+    // Counter accumulates 1000*1 + ... + 1000*k.
+    assert_eq!(got[0].samples[4].value, 1000 * 15);
+    // The windowed rate over stored history uses the same obs::derive
+    // math as the live monitor.
+    let rate = got[0].derive(store::Derivation::Rate).expect("rate");
+    assert!(rate > 0.0);
+}
+
+/// The live ring spills evicted points into the store and serves old
+/// windows back transparently — a Monitor with a small ring still
+/// answers queries over the whole run.
+#[test]
+fn live_monitor_reads_old_windows_from_the_store() {
+    let reg = Registry::new();
+    let c = reg.counter("fleet.fetches");
+    let store = Arc::new(Store::new(StoreConfig {
+        chunk_samples: 4,
+        segment_bytes: 64,
+        retention_ns: None,
+    }));
+    let spill = Arc::new(StoreSpill::new(Arc::clone(&store)).with_label("host", "h0"));
+    let mut monitor = Monitor::new(3, Vec::new()).with_spill(spill);
+
+    for tick in 1..=50u64 {
+        c.add(7);
+        let snap = Snapshot::take(&reg, tick * 1_000_000);
+        monitor.tick(snap.t_ns, &snap.scalars);
+    }
+
+    // The ring holds only the newest 3 points...
+    assert_eq!(
+        monitor.store().get("fleet.fetches").map(|s| s.len()),
+        Some(3)
+    );
+    // ...but the full 50-point history is reachable through window().
+    let full = monitor.window("fleet.fetches", 0, u64::MAX);
+    assert_eq!(full.len(), 50);
+    assert!(full.windows(2).all(|w| w[1].t_ns > w[0].t_ns));
+    assert_eq!(full[0].value, 7);
+    assert_eq!(full[49].value, 350);
+    // An old-only window is served purely from compressed storage.
+    let old = monitor.window("fleet.fetches", 1_000_000, 10_000_000);
+    assert_eq!(old.len(), 10);
+    // Nothing was dropped on the floor.
+    assert_eq!(monitor.store().evicted(), 0);
+}
+
+/// Retention-driven compaction keeps the store bounded while a fleet
+/// keeps writing — and the surviving history is still exact.
+#[test]
+fn retention_bounds_a_long_run_without_corrupting_history() {
+    let store = Store::new(StoreConfig {
+        chunk_samples: 32,
+        segment_bytes: 1024,
+        retention_ns: Some(500_000),
+    });
+    let key = SeriesKey::new("long.count");
+    for i in 1..=2_000u64 {
+        store
+            .ingest(&key, ExportSemantics::Counter, i * 1_000, i * 3)
+            .expect("ingest");
+    }
+    store.flush().expect("flush");
+    let before = store.fs().live_bytes();
+    let stats = store.compact(2_000_000).expect("compact");
+    assert!(stats.chunks_dropped > 0, "{stats:?}");
+    assert!(store.fs().live_bytes() < before);
+
+    let got = store
+        .query(&Selector::metric("long.count"), 0, u64::MAX)
+        .expect("query");
+    let samples = &got[0].samples;
+    // Whatever survived starts on a chunk boundary, is contiguous, and
+    // every value is exactly what was written.
+    assert!(!samples.is_empty());
+    assert!(samples[0].t_ns >= 1_000);
+    for w in samples.windows(2) {
+        assert_eq!(w[1].t_ns, w[0].t_ns + 1_000);
+    }
+    for s in samples {
+        assert_eq!(s.value, (s.t_ns / 1_000) * 3);
+    }
+    assert_eq!(samples[samples.len() - 1].t_ns, 2_000_000);
+}
