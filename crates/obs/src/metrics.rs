@@ -309,6 +309,8 @@ fn hist_scalar(snap: &HistSnapshot, idx: usize) -> u64 {
 
 /// An append-only name → metric registry.
 pub struct Registry {
+    // lock-rank: obs.1 — registry entry list; a leaf: nothing else is
+    // ever acquired while it is held.
     entries: Mutex<Vec<(&'static str, Slot)>>,
 }
 

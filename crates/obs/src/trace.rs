@@ -135,7 +135,10 @@ impl Ring {
     }
 }
 
+// lock-rank: obs.2 — ring-registration list; a leaf, held only for a
+// Vec push (registration) or clone (drain snapshot).
 fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    // lock-rank: obs.2 — same lock as the fn above returns.
     static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
     RINGS.get_or_init(|| Mutex::new(Vec::new()))
 }

@@ -27,6 +27,8 @@ pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// An unprivileged TCP connection to a networked PMCD.
 pub struct WireClient {
+    // lock-rank: wire.2 — serialises whole PDU exchanges on the socket;
+    // may record obs metrics (obs.*) but never takes wire.1 or store.*.
     stream: Mutex<TcpStream>,
     max_payload: u32,
     client_id: u64,
@@ -82,7 +84,13 @@ impl WireClient {
     /// One request/response round trip.
     fn call(&self, request: &Pdu) -> Result<Pdu, PcpError> {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        // blocking-ok: the stream mutex exists precisely to serialise whole
+        // PDU exchanges on this socket; both directions run under the
+        // connection's read/write timeouts, so a dead peer errors out
+        // instead of wedging other locks (wire.2 is below wire.1 and
+        // nothing else is held here).
         write_pdu(&mut *stream, request).map_err(wire_err)?;
+        // blocking-ok: second half of the same serialised exchange.
         read_pdu(&mut *stream, self.max_payload).map_err(wire_err)
     }
 
@@ -91,7 +99,10 @@ impl WireClient {
     /// a correct client never needs it.
     pub fn send_raw(&self, bytes: &[u8]) -> std::io::Result<()> {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        // blocking-ok: test-only raw frame write under the per-exchange
+        // stream mutex; socket write timeout bounds the stall.
         stream.write_all(bytes)?;
+        // blocking-ok: flush of the same timeout-bounded raw write.
         stream.flush()
     }
 
@@ -99,6 +110,8 @@ impl WireClient {
     /// with [`WireClient::send_raw`] in tests.
     pub fn recv_pdu(&self) -> Result<Pdu, PcpError> {
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        // blocking-ok: test-only receive half of a serialised exchange;
+        // bounded by the connection read timeout.
         read_pdu(&mut *stream, self.max_payload).map_err(wire_err)
     }
 

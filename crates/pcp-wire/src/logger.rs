@@ -43,6 +43,8 @@ struct Group {
 /// [`stop`]: SamplingScheduler::stop
 pub struct SamplingScheduler {
     stop: Arc<AtomicBool>,
+    // lock-rank: wire.1 — sampler group list, the outermost lock: the
+    // sample loop fetches and ingests (store.*, obs.*) while holding it.
     groups: Arc<Mutex<Vec<Group>>>,
     thread: Option<JoinHandle<()>>,
 }
@@ -155,6 +157,7 @@ fn series_key(group: &str, id: MetricId, inst: InstanceId) -> SeriesKey {
 
 fn sample_loop(
     ctx: Box<dyn PmApi>,
+    // lock-rank: wire.1 — the SamplingScheduler group list.
     groups: Arc<Mutex<Vec<Group>>>,
     stop: Arc<AtomicBool>,
     store: Option<Arc<Store>>,

@@ -53,6 +53,8 @@ struct State<T> {
 
 /// A bounded multi-producer multi-consumer queue.
 pub struct BoundedQueue<T> {
+    // lock-rank: wire.3 — queue state; a leaf guarding only the VecDeque
+    // and the condvar protocol.
     state: Mutex<State<T>>,
     cond: Condvar,
     capacity: usize,

@@ -126,12 +126,17 @@ pub struct StoreStats {
 pub struct Store {
     cfg: StoreConfig,
     fs: MemFs,
+    // lock-rank: store.2 — staging buffers; flushing seals chunks into
+    // files (store.4) and publishes the list (store.3) while held.
     ingest: Mutex<Ingest>,
     /// The published immutable segment list. Readers clone the `Arc`
     /// and drop the lock; writers replace the whole list.
+    // lock-rank: store.3 — held only to clone or swap the Arc list.
     sealed: Mutex<Arc<Vec<Arc<Segment>>>>,
     /// Serialises compaction passes (ingest and queries never wait on
     /// this).
+    // lock-rank: store.1 — outermost: a compaction pass flushes ingest
+    // (store.2) and republishes (store.3, store.4) while held.
     compacting: Mutex<()>,
 }
 

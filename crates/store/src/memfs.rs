@@ -21,6 +21,8 @@ use crate::StoreError;
 /// A deterministic in-memory file system of immutable files.
 #[derive(Debug, Default)]
 pub struct MemFs {
+    // lock-rank: store.4 — file-name map; a leaf held only for map ops
+    // (file contents are immutable Arc<[u8]> handed out by clone).
     files: Mutex<BTreeMap<String, Arc<[u8]>>>,
 }
 

@@ -1,6 +1,6 @@
 //! `papi-verify` static-analysis pass.
 //!
-//! Five repo-specific rules, enforced over every non-test source line of
+//! Seven repo-specific rules, enforced over every non-test source line of
 //! the workspace (vendored shims excluded):
 //!
 //! 1. **no-panic** — the server and codec crates (`pcp-wire`, `pcp`) must
@@ -38,11 +38,26 @@
 //!    PMNS `pmcd.obs.*` subtree all key on them, so an uncatalogued name
 //!    is an undocumented interface and a typo is a silently dead series.
 //!    The `obs` crate (which implements the macros) is exempt.
+//! 6. **lock-order** — every `Mutex`/`RwLock` declaration in the
+//!    concurrent-core crates (`pcp-wire`, `store`, `obs`, `pcp`) must
+//!    carry a `// lock-rank: <ns>.<N>` annotation; the analyzer tracks
+//!    guard lifetimes, builds the workspace-wide static lock-acquisition
+//!    graph (including across direct intra-workspace calls) and fails on
+//!    same-namespace rank inversions or any cycle, rendering the graph in
+//!    the error. Unresolvable `.lock()` receivers need `// lock-ok: <why>`.
+//!    See [`crate::conc`] and DESIGN.md §13.
+//! 7. **no-blocking-under-lock** — no guard from a ranked lock may be
+//!    live across a blocking call (`recv*`, `join`, `accept`, stream
+//!    I/O, `sleep`, `connect`, `Condvar::wait*`), directly or through a
+//!    uniquely-resolved workspace call, unless the site carries a
+//!    `// blocking-ok: <why>` waiver. A `Condvar::wait*` consuming the
+//!    guard ends it (the wait releases the lock atomically).
 //!
-//! The scanner is a lightweight lexer (comments, strings and char literals
-//! stripped; `#[cfg(test)]` modules brace-matched and skipped), not a full
-//! parser — deliberately dependency-free so `cargo xtask lint` works
-//! offline.
+//! Rules 1–5 run on a lightweight lexer (comments, strings and char
+//! literals stripped; `#[cfg(test)]` items brace-matched and skipped);
+//! rules 6–7 run on a delimiter-matched token stream built over the same
+//! scrubbed view ([`crate::tokens`]). Not a full parser — deliberately
+//! dependency-free so `cargo xtask lint` works offline.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -52,8 +67,10 @@ use std::path::{Path, PathBuf};
 /// surface as a typed `RunnerError` that fails its experiment, never as
 /// a panic that kills the whole reproduction run. `store` holds whole
 /// archived runs — a panic there loses history, so every fallible path
-/// must return a typed `StoreError`.
-const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench", "store"];
+/// must return a typed `StoreError`. `obs` runs on every hot path of
+/// every instrumented binary — a panic in the tracer takes the host
+/// process down with it, so it too must stay typed-error-only.
+const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench", "store", "obs"];
 
 /// Crates allowed to read `NestCounters` without a token (rule 3): they
 /// implement the privilege boundary rather than crossing it.
@@ -72,6 +89,10 @@ const METRIC_NEEDLES: &[&str] = &["counter!(", "gauge!(", "histogram!("];
 /// Crates exempt from rule 5: the metrics crate itself.
 const METRIC_EXEMPT_CRATES: &[&str] = &["obs"];
 
+/// Crates whose locks fall under rules 6–7: the concurrent measurement
+/// core whose deadlock-freedom the paper's indirection claim rests on.
+pub const LOCK_RANK_CRATES: &[&str] = &["pcp-wire", "store", "obs", "pcp"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -89,7 +110,21 @@ pub enum Rule {
     PrivilegeTaint,
     ObsFeatureGate,
     MetricCatalog,
+    LockOrder,
+    BlockingUnderLock,
 }
+
+/// All rule names, in rule-number order (stable: part of the `--json`
+/// schema).
+pub const RULE_NAMES: &[&str] = &[
+    "no-panic",
+    "relaxed-ok",
+    "privilege-taint",
+    "obs-feature-gate",
+    "metric-catalog",
+    "lock-order",
+    "no-blocking-under-lock",
+];
 
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -99,8 +134,24 @@ impl fmt::Display for Rule {
             Rule::PrivilegeTaint => write!(f, "privilege-taint"),
             Rule::ObsFeatureGate => write!(f, "obs-feature-gate"),
             Rule::MetricCatalog => write!(f, "metric-catalog"),
+            Rule::LockOrder => write!(f, "lock-order"),
+            Rule::BlockingUnderLock => write!(f, "no-blocking-under-lock"),
         }
     }
+}
+
+/// A waiver annotation found in the workspace (`relaxed-ok:`,
+/// `privilege-ok:`, `obs-ok:`, `metric-ok:`, `blocking-ok:`, `lock-ok:`):
+/// surfaced in the `--json` report so suppressions are auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub file: String,
+    /// 1-based line number of the annotation.
+    pub line: usize,
+    /// Tag without the trailing colon, e.g. `blocking-ok`.
+    pub tag: String,
+    /// The justification text following the tag.
+    pub why: String,
 }
 
 /// The set of documented metric names, parsed from `METRICS.md`: every
@@ -152,21 +203,24 @@ impl fmt::Display for Violation {
     }
 }
 
-/// A source file split into parallel per-line views.
-struct Scrubbed {
+/// A source file split into parallel per-line views. Every view has the
+/// same number of lines and — because the scrubber blanks characters
+/// one-for-one — identical per-line character counts, so a character
+/// position is meaningful across views.
+pub(crate) struct Scrubbed {
     /// Code with comments, string contents and char literals blanked.
-    code: Vec<String>,
+    pub(crate) code: Vec<String>,
     /// Comment text per line (line + block comments).
-    comment: Vec<String>,
+    pub(crate) comment: Vec<String>,
     /// The unmodified source lines — for checks that must see string
     /// literals, like `feature = "obs"` inside a `#[cfg(…)]` attribute.
-    raw: Vec<String>,
+    pub(crate) raw: Vec<String>,
     /// Whether the line sits inside a `#[cfg(test)]` item.
-    is_test: Vec<bool>,
+    pub(crate) is_test: Vec<bool>,
 }
 
 /// Lex `source` into code/comment line views.
-fn scrub(source: &str) -> Scrubbed {
+pub(crate) fn scrub(source: &str) -> Scrubbed {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -198,9 +252,10 @@ fn scrub(source: &str) -> Scrubbed {
             State::Code => {
                 if c == '/' && next == Some('/') {
                     state = State::LineComment;
-                    code.push(' ');
-                    comment.push(' ');
-                    i += 1; // second slash consumed below as comment text
+                    code.push_str("  ");
+                    comment.push_str("  ");
+                    i += 2;
+                    continue;
                 } else if c == '/' && next == Some('*') {
                     state = State::BlockComment(1);
                     code.push_str("  ");
@@ -361,98 +416,193 @@ fn mark_test_lines(code: &[String]) -> Vec<bool> {
     })
 }
 
-/// Mark lines belonging to items behind an attribute matching `is_gate`
-/// (brace-matched). Attribute lines are detected on the `code` view;
-/// `is_gate` runs against the same line of `attr_view` — pass the raw
+/// Mark lines belonging to items behind an attribute matching `is_gate`.
+/// Attribute spans are detected on the `code` view and may wrap across
+/// lines (`#[cfg(all(\n    test,\n    ...\n))]` — brackets are matched
+/// character by character); `is_gate` runs against the whitespace-
+/// flattened text of the same span taken from `attr_view` — pass the raw
 /// view when the attribute's argument is a string literal the scrubber
-/// blanks (e.g. `feature = "obs"`).
+/// blanks (e.g. `feature = "obs"`). The gated item is then brace-matched
+/// (block items, including an item opening on the attribute's own line)
+/// or taken to the terminating `;` (statements, `use`, type aliases),
+/// so nested modules and `#[cfg(test)] mod t { … }` one-liners both mark
+/// correctly.
 fn mark_gated_lines(
     code: &[String],
     attr_view: &[String],
     is_gate: &dyn Fn(&str) -> bool,
 ) -> Vec<bool> {
-    let mut out = vec![false; code.len()];
-    let mut pending_attr = false;
-    let mut depth: i64 = 0; // >0 while inside a gated item
-    let mut waiting_open = false;
-    for (ln, line) in code.iter().enumerate() {
-        if depth > 0 || waiting_open {
-            out[ln] = true;
-            for c in line.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        waiting_open = false;
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Idle,
+        Attr,    // inside an attribute's brackets
+        Between, // after an attribute, before its item (or next attribute)
+        Item,    // inside a gated item
+    }
+
+    let n = code.len();
+    let mut out = vec![false; n];
+    let mut state = St::Idle;
+    let mut gated = false;
+    let mut chain_start = 0usize; // first line of the attribute chain
+    let mut depth: i64 = 0; // attr bracket depth / item brace depth
+    let mut opened = false; // item: first `{` seen
+    let mut attr_buf = String::new();
+
+    for ln in 0..n {
+        let cv: Vec<char> = code[ln].chars().collect();
+        let av: Vec<char> = attr_view[ln].chars().collect();
+        let mut i = 0usize;
+        loop {
+            match state {
+                St::Idle => {
+                    while i < cv.len() && cv[i].is_whitespace() {
+                        i += 1;
                     }
-                    '}' => depth -= 1,
-                    _ => {}
+                    if i + 1 < cv.len() && cv[i] == '#' && cv[i + 1] == '[' {
+                        state = St::Attr;
+                        gated = false;
+                        chain_start = ln;
+                        depth = 0;
+                        attr_buf.clear();
+                        continue; // reprocess from `#`
+                    }
+                    break; // rest of the line is plain code
                 }
-            }
-            if depth <= 0 && !waiting_open {
-                depth = 0;
-            }
-            continue;
-        }
-        let t = line.trim_start();
-        if t.starts_with("#[") && is_gate(attr_view[ln].trim_start()) {
-            pending_attr = true;
-            out[ln] = true;
-            continue;
-        }
-        if pending_attr {
-            out[ln] = true;
-            if t.starts_with("#[") {
-                continue; // stacked attributes
-            }
-            pending_attr = false;
-            if t.starts_with("mod ")
-                || t.starts_with("pub mod ")
-                || t.contains("fn ")
-                || t.starts_with("impl")
-            {
-                waiting_open = true;
-                for c in line.chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            waiting_open = false;
+                St::Attr => {
+                    let mut closed = false;
+                    while i < cv.len() {
+                        attr_buf.push(av.get(i).copied().unwrap_or(' '));
+                        match cv[i] {
+                            '[' => depth += 1,
+                            ']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    closed = true;
+                                }
+                            }
+                            _ => {}
                         }
-                        '}' => depth -= 1,
-                        _ => {}
+                        i += 1;
+                        if closed {
+                            break;
+                        }
                     }
+                    if closed {
+                        let flat: String = attr_buf.split_whitespace().collect();
+                        gated = gated || is_gate(&flat);
+                        attr_buf.clear();
+                        state = St::Between;
+                        continue;
+                    }
+                    attr_buf.push(' ');
+                    break; // attribute continues on the next line
                 }
-                if depth <= 0 && !waiting_open {
+                St::Between => {
+                    while i < cv.len() && cv[i].is_whitespace() {
+                        i += 1;
+                    }
+                    if i >= cv.len() {
+                        break; // item (or next attribute) on a later line
+                    }
+                    if i + 1 < cv.len() && cv[i] == '#' && cv[i + 1] == '[' {
+                        state = St::Attr; // stacked attribute, chain continues
+                        depth = 0;
+                        continue;
+                    }
+                    if !gated {
+                        state = St::Idle;
+                        break; // ungated item: leave the rest of the line alone
+                    }
+                    for slot in out.iter_mut().take(ln + 1).skip(chain_start) {
+                        *slot = true;
+                    }
+                    state = St::Item;
                     depth = 0;
+                    opened = false;
+                    continue;
+                }
+                St::Item => {
+                    out[ln] = true;
+                    let mut done = false;
+                    while i < cv.len() {
+                        match cv[i] {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => {
+                                depth -= 1;
+                                if opened && depth <= 0 {
+                                    done = true;
+                                }
+                            }
+                            ';' if !opened && depth == 0 => done = true,
+                            _ => {}
+                        }
+                        i += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    if done {
+                        state = St::Idle;
+                        continue; // the same line may start another item/attr
+                    }
+                    break; // item continues on the next line
                 }
             }
-            // Otherwise (`use`, type alias …) the attribute gates only this
-            // line, which is already marked.
         }
+        // Lines fully inside a wrapped gated construct still need marking
+        // even when the per-line loop exits early.
+        if state == St::Item || (gated && (state == St::Attr || state == St::Between)) {
+            out[ln] = true;
+        }
+        // Not-yet-gated attribute chains are marked retroactively once the
+        // gate is confirmed and the item starts; nothing to do here.
     }
     out
 }
 
+/// Scrubbed views of `source` for external property tests: the code
+/// lines (comments, string contents, and char literals blanked — what
+/// rules 2–7 match against) and the comment lines.
+pub fn scrub_lines(source: &str) -> (Vec<String>, Vec<String>) {
+    let s = scrub(source);
+    (s.code, s.comment)
+}
+
 /// True when `line`'s or the previous line's comment carries `tag`.
-fn annotated(s: &Scrubbed, ln: usize, tag: &str) -> bool {
-    if s.comment[ln].contains(tag) {
-        return true;
+pub(crate) fn annotated(s: &Scrubbed, ln: usize, tag: &str) -> bool {
+    annotation_text(s, ln, tag).is_some()
+}
+
+/// The text following `tag` in the comment on line `ln` or in the
+/// contiguous comment block directly above; returns `(text, tag line)`.
+/// Shares `annotated`'s placement rules: same line, or a comment block
+/// above that is not broken by code or blank lines (the line directly
+/// above may carry code with a trailing comment, matching the one-line
+/// form).
+pub(crate) fn annotation_text(s: &Scrubbed, ln: usize, tag: &str) -> Option<(String, usize)> {
+    let grab = |i: usize| {
+        s.comment[i]
+            .find(tag)
+            .map(|p| (s.comment[i][p + tag.len()..].trim().to_owned(), i))
+    };
+    if let Some(hit) = grab(ln) {
+        return Some(hit);
     }
-    // Walk up through the contiguous comment block directly above: a
-    // multi-line justification may carry the tag on its first line.
     let mut i = ln;
     while i > 0 {
         i -= 1;
-        if s.comment[i].contains(tag) {
-            return true;
+        if let Some(hit) = grab(i) {
+            return Some(hit);
         }
-        // Stop once we leave the comment block (a code line or a blank
-        // line). The line immediately above may carry code (a trailing
-        // comment there still counts, matching the one-line form).
         if !s.code[i].trim().is_empty() || s.comment[i].trim().is_empty() {
             break;
         }
     }
-    false
+    None
 }
 
 /// Lint one file's source with rules 1–4 only (no metric catalog; rule 5
@@ -797,6 +947,52 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// a missing catalog is itself a violation, so the rule cannot silently
 /// disappear.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
+    let report = lint_workspace_full(root)?;
+    Ok((report.nfiles, report.violations))
+}
+
+/// Everything one lint pass over the workspace produced: the file count,
+/// all violations (rules 1–7, sorted per rule group), and the waiver
+/// inventory (every `*-ok:` annotation found, whether or not anything
+/// matched it) for the `--json` report.
+pub struct WorkspaceReport {
+    pub nfiles: usize,
+    pub violations: Vec<Violation>,
+    pub waivers: Vec<Waiver>,
+}
+
+/// The annotation tags whose uses are inventoried as [`Waiver`]s.
+const WAIVER_TAGS: &[&str] = &[
+    "relaxed-ok:",
+    "privilege-ok:",
+    "obs-ok:",
+    "metric-ok:",
+    "blocking-ok:",
+    "lock-ok:",
+];
+
+/// Collect every waiver annotation in `s` into [`Waiver`] records.
+fn collect_waivers(file: &str, s: &Scrubbed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (ln, comment) in s.comment.iter().enumerate() {
+        for tag in WAIVER_TAGS {
+            if let Some(p) = comment.find(tag) {
+                out.push(Waiver {
+                    file: file.to_owned(),
+                    line: ln + 1,
+                    tag: tag.trim_end_matches(':').to_owned(),
+                    why: comment[p + tag.len()..].trim().to_owned(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Full workspace lint: rules 1–5 per file, then the cross-file
+/// concurrency rules 6–7 over the [`LOCK_RANK_CRATES`] sources, plus the
+/// waiver inventory.
+pub fn lint_workspace_full(root: &Path) -> std::io::Result<WorkspaceReport> {
     let mut files = Vec::new();
     walk(&root.join("src"), &mut files)?;
     walk(&root.join("examples"), &mut files)?;
@@ -828,18 +1024,118 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
         });
     }
     let nfiles = files.len();
+    let mut waivers = Vec::new();
+    let mut conc_files: Vec<(String, String)> = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         let crate_name = crate_of(rel);
+        let rel_str = rel.display().to_string();
         let source = std::fs::read_to_string(&path)?;
+        waivers.extend(collect_waivers(&rel_str, &scrub(&source)));
         violations.extend(lint_source_with_catalog(
             &crate_name,
-            &rel.display().to_string(),
+            &rel_str,
             &source,
             catalog.as_ref(),
         ));
+        if LOCK_RANK_CRATES.contains(&crate_name.as_str()) {
+            conc_files.push((rel_str, source));
+        }
     }
-    Ok((nfiles, violations))
+    let (conc_violations, _) = crate::conc::check(&conc_files);
+    violations.extend(conc_violations);
+    waivers.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(WorkspaceReport {
+        nfiles,
+        violations,
+        waivers,
+    })
+}
+
+/// Run only the concurrency rules (6–7) over in-memory `(path, source)`
+/// pairs — the fixture-test entry point.
+pub fn lint_concurrency(files: &[(String, String)]) -> Vec<Violation> {
+    crate::conc::check(files).0
+}
+
+/// Like [`lint_concurrency`] but also returns the `lock-ok`/`blocking-ok`
+/// waivers the pass honoured.
+pub fn lint_concurrency_full(files: &[(String, String)]) -> (Vec<Violation>, Vec<Waiver>) {
+    crate::conc::check(files)
+}
+
+/// Escape `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`WorkspaceReport`] as the stable `papi-lint/1` JSON schema:
+/// `schema`, `files`, `rules` (the seven rule names in order), a
+/// `violations` array (`rule`, `file`, `line`, `msg`, `waiver` — the
+/// last reserved, always `null` today: a reported violation is by
+/// definition unwaived) and a `waivers` inventory (`tag`, `file`,
+/// `line`, `why`).
+pub fn render_json(report: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"papi-lint/1\",\n");
+    out.push_str(&format!("  \"files\": {},\n", report.nfiles));
+    out.push_str("  \"rules\": [");
+    for (i, name) in RULE_NAMES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\""));
+    }
+    out.push_str("],\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"msg\": \"{}\", \"waiver\": null}}",
+            v.rule,
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.msg)
+        ));
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"waivers\": [");
+    for (i, w) in report.waivers.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"tag\": \"{}\", \"file\": \"{}\", \"line\": {}, \"why\": \"{}\"}}",
+            json_escape(&w.tag),
+            json_escape(&w.file),
+            w.line,
+            json_escape(&w.why)
+        ));
+    }
+    if !report.waivers.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Entry point for `cargo xtask lint --json`: prints the machine-readable
+/// report to stdout, returns the violation count.
+pub fn run_json(root: &Path) -> std::io::Result<usize> {
+    let report = lint_workspace_full(root)?;
+    print!("{}", render_json(&report));
+    Ok(report.violations.len())
 }
 
 /// Crate name of a workspace-relative path (`crates/<name>/…` or the root
@@ -863,7 +1159,7 @@ pub fn run(root: &Path) -> std::io::Result<usize> {
         eprintln!("{v}");
     }
     if violations.is_empty() {
-        eprintln!("lint clean: {nfiles} files, 5 rules");
+        eprintln!("lint clean: {nfiles} files, 7 rules");
     } else {
         eprintln!("{} violation(s) in {nfiles} files", violations.len());
     }

@@ -1,0 +1,192 @@
+//! Token stream over the scrubbed code view — the "token-tree" layer the
+//! cross-line rules (6 and 7) are built on.
+//!
+//! The scrubber ([`crate::lint`]) already blanks comments, strings and
+//! char literals, so tokenizing its code view is trivial: runs of
+//! identifier characters become [`Tok::ident`] tokens, every other
+//! non-whitespace character becomes a one-character punctuation token.
+//! On top of that flat stream this module matches `()`/`[]`/`{}`
+//! delimiter pairs and records, for every token, the innermost enclosing
+//! brace — which is exactly the scope information guard tracking needs
+//! (a `let`-bound lock guard lives to the end of its enclosing block).
+//!
+//! Generics are *not* treated as delimiters: `<`/`>` are ambiguous with
+//! comparison operators, and none of the analyses need them matched.
+
+/// One token of scrubbed source.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    /// Identifier text, or the single punctuation character.
+    pub text: String,
+    /// 0-based source line.
+    pub line: usize,
+    /// True for identifier/number tokens.
+    pub ident: bool,
+    /// True when the token sits on a `#[cfg(test)]`-gated line.
+    pub is_test: bool,
+    /// For `(`/`[`/`{` and `)`/`]`/`}`: index of the matching partner.
+    pub mate: Option<usize>,
+    /// Index of the innermost `{` token enclosing this one.
+    pub brace: Option<usize>,
+}
+
+/// Tokenize the scrubbed `code` lines. `is_test` is the parallel
+/// per-line test marking; both come from the scrubber.
+pub(crate) fn tokenize(code: &[String], is_test: &[bool]) -> Vec<Tok> {
+    let mut toks: Vec<Tok> = Vec::new();
+    for (ln, line) in code.iter().enumerate() {
+        let test = is_test.get(ln).copied().unwrap_or(false);
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: ln,
+                    ident: true,
+                    is_test: test,
+                    mate: None,
+                    brace: None,
+                });
+            } else {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line: ln,
+                    ident: false,
+                    is_test: test,
+                    mate: None,
+                    brace: None,
+                });
+                i += 1;
+            }
+        }
+    }
+    match_delims(&mut toks);
+    toks
+}
+
+/// Match `()`/`[]`/`{}` pairs and record each token's enclosing brace.
+/// Unbalanced input (possible on pathological sources) degrades to
+/// unmatched tokens rather than panicking.
+fn match_delims(toks: &mut [Tok]) {
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        // The innermost enclosing '{' *before* processing this token, so
+        // an opening brace records its parent, not itself.
+        toks[i].brace = stack.iter().rev().find(|(c, _)| *c == '{').map(|&(_, j)| j);
+        let c = match toks[i].text.as_str() {
+            "(" | "[" | "{" => {
+                stack.push((toks[i].text.chars().next().unwrap_or('('), i));
+                continue;
+            }
+            ")" => '(',
+            "]" => '[',
+            "}" => '{',
+            _ => continue,
+        };
+        // Pop to the nearest matching opener; mismatched closers between
+        // are left unmatched (tolerant of scrub artifacts).
+        if let Some(pos) = stack.iter().rposition(|(open, _)| *open == c) {
+            let (_, open_idx) = stack.remove(pos);
+            toks[open_idx].mate = Some(i);
+            toks[i].mate = Some(open_idx);
+        }
+    }
+}
+
+/// Index just past the statement containing token `i`: the first `;` at
+/// the same brace depth (delimiter groups are skipped whole), or the
+/// index of the `}` closing the enclosing block, or `end`.
+pub(crate) fn stmt_end(toks: &[Tok], i: usize, end: usize) -> usize {
+    let brace = toks[i].brace;
+    let mut j = i;
+    while j < end {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => {
+                // Skip the whole group.
+                match toks[j].mate {
+                    Some(m) if m > j => j = m + 1,
+                    _ => j += 1,
+                }
+                continue;
+            }
+            ";" if toks[j].brace == brace => return j + 1,
+            "}" => return j,
+            _ => j += 1,
+        }
+    }
+    end
+}
+
+/// End (exclusive) of the block enclosing token `i`: the index of the
+/// `}` matching the innermost enclosing `{`, or `end`.
+pub(crate) fn block_end(toks: &[Tok], i: usize, end: usize) -> usize {
+    match toks[i].brace.and_then(|b| toks[b].mate) {
+        Some(close) => close.min(end),
+        None => end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<Tok> {
+        let lines: Vec<String> = src.lines().map(str::to_owned).collect();
+        let marks = vec![false; lines.len()];
+        tokenize(&lines, &marks)
+    }
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let t = lex("let x = a.lock();\nfoo(y)");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", ".", "lock", "(", ")", ";", "foo", "(", "y", ")"]
+        );
+        assert_eq!(t[0].line, 0);
+        assert_eq!(t[9].line, 1);
+    }
+
+    #[test]
+    fn delimiters_match_across_lines() {
+        let t = lex("fn f() {\n    if x { y(); }\n}");
+        // Outer braces: token index of '{' on line 0 pairs with final '}'.
+        let open = t.iter().position(|k| k.text == "{").unwrap();
+        let close = t[open].mate.unwrap();
+        assert_eq!(t[close].line, 2);
+        // The inner call's tokens are enclosed by the *inner* brace.
+        let y = t.iter().position(|k| k.text == "y").unwrap();
+        let inner_open = t[y].brace.unwrap();
+        assert!(inner_open > open, "innermost brace wins");
+    }
+
+    #[test]
+    fn stmt_end_skips_nested_groups() {
+        let t = lex("let a = f(|| { g(); });\nh();");
+        let la = 0;
+        let e = stmt_end(&t, la, t.len());
+        // The ';' inside the closure does not end the outer statement.
+        assert_eq!(t[e - 1].text, ";");
+        assert_eq!(t[e - 1].line, 0);
+        assert_eq!(t[e].text, "h");
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let t = lex("} ) ] fn f( {");
+        assert!(!t.is_empty());
+        let _ = stmt_end(&t, 0, t.len());
+        let _ = block_end(&t, 0, t.len());
+    }
+}

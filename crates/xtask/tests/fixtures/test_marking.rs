@@ -1,0 +1,33 @@
+//! Scrubber/test-marking fixture: every unwrap below except the one in
+//! `real_code` sits in `#[cfg(test)]`-gated code that line-based
+//! detection used to miss — a multi-line attribute, nested test
+//! modules, and an attribute sharing its line with the item.
+
+pub fn real_code(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(all(
+    test,
+    feature = "extra"
+))]
+mod gated_multiline {
+    pub fn helper(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}
+
+#[cfg(test)]
+mod outer {
+    fn a(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+
+    mod nested {
+        fn b(v: Option<u32>) -> u32 {
+            v.unwrap()
+        }
+    }
+}
+
+#[cfg(test)] mod same_line { pub fn c(v: Option<u32>) -> u32 { v.unwrap() } }

@@ -4,6 +4,7 @@
 use xtask::lint::{lint_source, lint_source_with_catalog, MetricCatalog, Rule};
 
 const BAD_PANIC: &str = include_str!("fixtures/bad_panic.rs");
+const TEST_MARKING: &str = include_str!("fixtures/test_marking.rs");
 const BAD_RELAXED: &str = include_str!("fixtures/bad_relaxed.rs");
 const BAD_TAINT: &str = include_str!("fixtures/bad_taint.rs");
 const BAD_OBS_GATE: &str = include_str!("fixtures/bad_obs_gate.rs");
@@ -31,6 +32,25 @@ fn no_panic_rule_covers_the_storage_engine() {
     let v = lint_source("store", "fixtures/bad_panic.rs", BAD_PANIC);
     let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
     assert_eq!(rules, vec![Rule::NoPanic; 3], "{v:?}");
+}
+
+#[test]
+fn no_panic_rule_covers_the_tracer_crate() {
+    // obs runs on every hot path; a panic there takes the measurement
+    // down with it.
+    let v = lint_source("obs", "fixtures/bad_panic.rs", BAD_PANIC);
+    let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+    assert_eq!(rules, vec![Rule::NoPanic; 3], "{v:?}");
+}
+
+#[test]
+fn test_marking_handles_multiline_attrs_and_nesting() {
+    // Multi-line `#[cfg(all(test, …))]` attributes, nested modules under
+    // `#[cfg(test)]`, and an attribute sharing its line with the item are
+    // all test code; only the unwrap in `real_code` may be reported.
+    let v = lint_source("pcp-wire", "fixtures/test_marking.rs", TEST_MARKING);
+    let hits: Vec<_> = v.iter().map(|x| (x.rule, x.line)).collect();
+    assert_eq!(hits, vec![(Rule::NoPanic, 7)], "{v:?}");
 }
 
 #[test]
