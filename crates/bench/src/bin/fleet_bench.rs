@@ -1,0 +1,284 @@
+//! Fleet federation at scale: 256 simulated hosts behind one
+//! aggregator, with concurrent HTTP scrape clients on the fleet-wide
+//! `/metrics` endpoint.
+//!
+//! Measures:
+//!
+//! * scrape fan-out latency per host (p50/p99, from the aggregator's
+//!   own `fleet.scrape.latency_ns` histogram),
+//! * merged-series count of the federated document,
+//! * aggregate store ingest rate (samples/second across passes),
+//! * HTTP serving under concurrent scrapers of the merged document,
+//!
+//! then runs the deterministic fault drill: kill exactly one host
+//! mid-run and require exactly that host's staleness alert (and no
+//! other) on the next pass.
+//!
+//! Wall-clock measurements, so not part of the deterministic `repro`
+//! catalog; the floors below are deliberately loose CI tripwires, not
+//! performance claims.
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use fleet::{host_name, Aggregator, AggregatorConfig, Fleet};
+
+const HOSTS: usize = 256;
+const PASSES: u64 = 4;
+const WORKERS: usize = 32;
+const SEED: u64 = 0x000F_1EE7_BE11;
+const HTTP_CLIENTS: usize = 8;
+const HTTP_GETS_PER_CLIENT: usize = 16;
+const SEC: u64 = 1_000_000_000;
+
+/// Floors: a 256-host pass must finish well under the scrape timeout,
+/// and the store must keep up with the federated sample stream.
+const MAX_P99_NS: u64 = 2_000_000_000;
+const MIN_SAMPLES_PER_S: f64 = 5_000.0;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleet_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn http_get_metrics(addr: std::net::SocketAddr) -> Result<usize, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&response);
+    if !text.starts_with("HTTP/1.1 200 OK\r\n") {
+        return Err(format!(
+            "bad status: {}",
+            text.lines().next().unwrap_or("<empty>")
+        ));
+    }
+    Ok(response.len())
+}
+
+fn run() -> Result<(), String> {
+    println!("fleet_bench: spawning {HOSTS} hosts (seed {SEED:#x})");
+    let t0 = Instant::now();
+    let mut fleet = Fleet::spawn(HOSTS, SEED).map_err(|e| format!("spawn: {e}"))?;
+    let spawn_s = t0.elapsed().as_secs_f64();
+    println!(
+        "  spawned in {spawn_s:.2} s ({} PMCDs on loopback)",
+        fleet.len()
+    );
+
+    let mut agg = Aggregator::new(
+        &fleet,
+        AggregatorConfig {
+            workers: WORKERS,
+            ..AggregatorConfig::default()
+        },
+    );
+    let http_addr = agg
+        .serve_http("127.0.0.1:0")
+        .map_err(|e| format!("serve_http: {e}"))?;
+
+    // --- clean passes, with HTTP scrapers hammering the fleet endpoint
+    // concurrently.
+    let http_ok = AtomicU64::new(0);
+    let http_bytes = AtomicU64::new(0);
+    let mut merged_series = 0usize;
+    let mut samples_ingested = 0u64;
+    let mut pass_wall = Duration::ZERO;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let http_ok = &http_ok;
+        let http_bytes = &http_bytes;
+        let clients: Vec<_> = (0..HTTP_CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    for _ in 0..HTTP_GETS_PER_CLIENT {
+                        if let Ok(n) = http_get_metrics(http_addr) {
+                            // relaxed-ok: independent tallies, read after join
+                            http_ok.fetch_add(1, Ordering::Relaxed);
+                            // relaxed-ok: independent tallies, read after join
+                            http_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                        }
+                        // Pace the scrapers across the pass loop so most
+                        // requests hit a published (non-placeholder) doc.
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                })
+            })
+            .collect();
+        for pass in 1..=PASSES {
+            fleet.tick_traffic(pass);
+            let t = Instant::now();
+            let report = agg.scrape_pass(pass * SEC);
+            pass_wall += t.elapsed();
+            if report.scraped != HOSTS {
+                return Err(format!(
+                    "pass {pass}: scraped {} of {HOSTS} (stale: {:?})",
+                    report.scraped, report.stale
+                ));
+            }
+            if !report.alerts.is_empty() {
+                return Err(format!(
+                    "pass {pass}: clean fleet alerted: {:?}",
+                    report.alerts
+                ));
+            }
+            merged_series = report.merged_series;
+            samples_ingested += report.samples_ingested;
+        }
+        for c in clients {
+            let _ = c.join();
+        }
+        Ok(())
+    })?;
+    let samples_per_s = samples_ingested as f64 / pass_wall.as_secs_f64();
+    // relaxed-ok: clients joined above; these are final values
+    let http_ok = http_ok.load(Ordering::Relaxed);
+    // relaxed-ok: clients joined above; these are final values
+    let http_bytes = http_bytes.load(Ordering::Relaxed);
+
+    // Per-host scrape latency quantiles from the aggregator's own
+    // histogram (flattened by the registry export).
+    let snap = obs::Snapshot::take(agg.registry(), PASSES * SEC);
+    let quantile = |suffix: &str| -> u64 {
+        snap.scalars
+            .iter()
+            .find(|e| e.name == format!("fleet.scrape.latency_ns.{suffix}"))
+            .map(|e| e.value)
+            .unwrap_or(0)
+    };
+    let (p50_ns, p99_ns, max_ns) = (quantile("p50"), quantile("p99"), quantile("max"));
+
+    println!(
+        "  {PASSES} passes x {HOSTS} hosts, {WORKERS} workers: {:.2} s total pass wall",
+        pass_wall.as_secs_f64()
+    );
+    println!(
+        "  scrape fan-out latency: p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        p50_ns as f64 / 1e6,
+        p99_ns as f64 / 1e6,
+        max_ns as f64 / 1e6
+    );
+    println!("  merged document: {merged_series} series/pass");
+    println!("  store ingest: {samples_ingested} samples, {samples_per_s:.0} samples/s");
+    println!(
+        "  http: {http_ok}/{} concurrent scrapes ok, {:.1} MiB served",
+        HTTP_CLIENTS * HTTP_GETS_PER_CLIENT,
+        http_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // --- fault drill: kill exactly one host, require exactly its alert.
+    let victim = HOSTS / 2;
+    fleet.kill_host(victim);
+    fleet.tick_traffic(PASSES + 1);
+    let fault = agg.scrape_pass((PASSES + 1) * SEC);
+    if fault.stale != vec![host_name(victim)] {
+        return Err(format!(
+            "fault drill: expected only {} stale, got {:?}",
+            host_name(victim),
+            fault.stale
+        ));
+    }
+    let stale_metric = format!("fleet.host.stale.{}", host_name(victim));
+    if fault.alerts.len() != 1
+        || fault.alerts[0].rule != "alert.fleet.host_stale"
+        || fault.alerts[0].metric != stale_metric
+    {
+        return Err(format!(
+            "fault drill: expected exactly one alert on {stale_metric}, got {:?}",
+            fault.alerts
+        ));
+    }
+    println!(
+        "  fault drill: killed {}, exactly its staleness alert fired ({} hosts still scraped)",
+        host_name(victim),
+        fault.scraped
+    );
+
+    write_bench_fleet(
+        spawn_s,
+        &pass_wall,
+        p50_ns,
+        p99_ns,
+        max_ns,
+        merged_series,
+        samples_ingested,
+        samples_per_s,
+        http_ok,
+        http_bytes,
+    );
+
+    if http_ok == 0 {
+        return Err("no concurrent HTTP scrape succeeded".into());
+    }
+    if p99_ns > MAX_P99_NS {
+        return Err(format!(
+            "scrape p99 {p99_ns} ns above the {MAX_P99_NS} ns floor"
+        ));
+    }
+    if samples_per_s < MIN_SAMPLES_PER_S {
+        return Err(format!(
+            "ingest {samples_per_s:.0} samples/s below the {MIN_SAMPLES_PER_S} floor"
+        ));
+    }
+    println!("PASS: p99 <= {MAX_P99_NS} ns, >= {MIN_SAMPLES_PER_S} samples/s, fault drill exact");
+
+    repro_bench::obsreport::write_artifacts("fleet_bench");
+    Ok(())
+}
+
+/// Emit `results/BENCH_fleet.json`. Hand-rolled JSON — the workspace
+/// has no serde.
+#[allow(clippy::too_many_arguments)]
+fn write_bench_fleet(
+    spawn_s: f64,
+    pass_wall: &Duration,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    merged_series: usize,
+    samples_ingested: u64,
+    samples_per_s: f64,
+    http_ok: u64,
+    http_bytes: u64,
+) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"hosts\": {HOSTS},\n"));
+    json.push_str(&format!("  \"passes\": {PASSES},\n"));
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!("  \"spawn_s\": {spawn_s:.3},\n"));
+    json.push_str(&format!(
+        "  \"pass_wall_s\": {:.3},\n",
+        pass_wall.as_secs_f64()
+    ));
+    json.push_str(&format!("  \"scrape_p50_ns\": {p50_ns},\n"));
+    json.push_str(&format!("  \"scrape_p99_ns\": {p99_ns},\n"));
+    json.push_str(&format!("  \"scrape_max_ns\": {max_ns},\n"));
+    json.push_str(&format!("  \"merged_series\": {merged_series},\n"));
+    json.push_str(&format!("  \"samples_ingested\": {samples_ingested},\n"));
+    json.push_str(&format!("  \"samples_per_s\": {samples_per_s:.0},\n"));
+    json.push_str(&format!(
+        "  \"http_requests\": {},\n",
+        HTTP_CLIENTS * HTTP_GETS_PER_CLIENT
+    ));
+    json.push_str(&format!("  \"http_requests_ok\": {http_ok},\n"));
+    json.push_str(&format!("  \"http_bytes\": {http_bytes}\n"));
+    json.push_str("}\n");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/BENCH_fleet.json", &json).is_ok()
+    {
+        println!("  wrote results/BENCH_fleet.json");
+    }
+}

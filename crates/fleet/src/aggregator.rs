@@ -1,0 +1,386 @@
+//! The federating aggregator: scrape fan-out, merge, re-exposition,
+//! store ingest and fleet-level alerting.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use obs::derive::{Monitor, Predicate, Rule};
+use obs::openmetrics::{from_exported, render, MetricKind, Value};
+use pcp_wire::pool::{BoundedQueue, Pop};
+use pcp_wire::scrape::ExpositionProvider;
+use pcp_wire::{ScrapeListener, WireClient};
+use store::{SeriesKey, Store, StoreConfig};
+
+use crate::host::Fleet;
+use crate::merge::{merge_parallel, HostScrape, MergeOutcome};
+use crate::FleetError;
+
+/// Aggregator tuning knobs.
+#[derive(Clone, Debug)]
+pub struct AggregatorConfig {
+    /// Scrape fan-out workers (concurrent host connections).
+    pub workers: usize,
+    /// Samples retained per series by the fleet [`Monitor`].
+    pub monitor_capacity: usize,
+    /// `alert.fleet.aggregate_sim_rate` fires when the fleet-wide
+    /// simulated traffic rate exceeds this (bytes/second).
+    pub sim_rate_alert_bytes_per_s: f64,
+    /// Per-connection I/O timeout for host scrapes.
+    pub io_timeout: Duration,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        AggregatorConfig {
+            workers: 8,
+            monitor_capacity: 128,
+            // One petabyte/s: unreachable by default, so the rule is
+            // silent unless a caller opts into a realistic threshold.
+            sim_rate_alert_bytes_per_s: 1e15,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The outcome of one [`Aggregator::scrape_pass`].
+#[derive(Clone, Debug)]
+pub struct PassReport {
+    /// Timestamp the pass was stamped with.
+    pub t_ns: u64,
+    /// Hosts scraped successfully.
+    pub scraped: usize,
+    /// Hostnames that failed to scrape this pass (dead, refused, or
+    /// served an unparseable document).
+    pub stale: Vec<String>,
+    /// Series in the merged document.
+    pub merged_series: usize,
+    /// Kind conflicts dropped by the merge.
+    pub kind_conflicts: u64,
+    /// Alerts fired by the fleet monitor at this tick.
+    pub alerts: Vec<obs::Alert>,
+    /// The merged host-sample section, rendered without a timestamp —
+    /// the deterministic part of the fleet document (fleet self-metrics
+    /// carry wall-clock latencies and are appended separately).
+    pub host_text: String,
+    /// Samples ingested into the fleet store this pass.
+    pub samples_ingested: u64,
+}
+
+/// One scrape target, fixed at aggregator construction so a killed
+/// host keeps its slot (and its staleness identity).
+struct Target {
+    name: String,
+    addr: SocketAddr,
+    /// `fleet.host.stale.<name>` gauge: 1 while the last pass failed.
+    stale: Arc<obs::Gauge>,
+}
+
+/// The federating aggregator over one [`Fleet`].
+pub struct Aggregator {
+    cfg: AggregatorConfig,
+    targets: Vec<Target>,
+    registry: Arc<obs::Registry>,
+    scrape_ok: Arc<obs::Counter>,
+    scrape_err: Arc<obs::Counter>,
+    scrape_latency: Arc<obs::Histogram>,
+    hosts_stale: Arc<obs::Gauge>,
+    series_merged: Arc<obs::Gauge>,
+    queue_shed: Arc<obs::Counter>,
+    sim_bytes: Arc<obs::Counter>,
+    prev_shed: u64,
+    prev_sim_bytes: u64,
+    monitor: Monitor,
+    store: Store,
+    // lock-rank: fleet.1 — the published fleet document; a leaf, written
+    // at the end of a pass and read by the scrape provider. Nothing else
+    // is ever acquired while it is held.
+    published: Arc<Mutex<String>>,
+    listener: Option<ScrapeListener>,
+}
+
+impl Aggregator {
+    /// Build an aggregator over `fleet`'s current hosts. Per-host
+    /// staleness gauges and rules are registered in host index order,
+    /// so the fleet registry's export layout is deterministic.
+    pub fn new(fleet: &Fleet, cfg: AggregatorConfig) -> Self {
+        let registry = Arc::new(obs::Registry::new());
+        let scrape_ok = registry.counter("fleet.scrape.ok");
+        let scrape_err = registry.counter("fleet.scrape.err");
+        let scrape_latency = registry.histogram("fleet.scrape.latency_ns");
+        let hosts_gauge = registry.gauge("fleet.hosts");
+        let hosts_stale = registry.gauge("fleet.hosts.stale");
+        let series_merged = registry.gauge("fleet.series.merged");
+        let queue_shed = registry.counter("fleet.queue.shed");
+        let sim_bytes = registry.counter("fleet.sim.bytes");
+
+        let mut rules = vec![
+            Rule {
+                name: "alert.fleet.any_shedding",
+                metric: "fleet.queue.shed",
+                predicate: Predicate::RateAbove(0.0),
+            },
+            Rule {
+                name: "alert.fleet.aggregate_sim_rate",
+                metric: "fleet.sim.bytes",
+                predicate: Predicate::RateAbove(cfg.sim_rate_alert_bytes_per_s),
+            },
+        ];
+        let targets: Vec<Target> = fleet
+            .hosts()
+            .iter()
+            .map(|h| {
+                // Rule metrics are `&'static str`; one bounded leak per
+                // host for the fleet's lifetime (same policy as the wire
+                // client's units interning).
+                let metric: &'static str =
+                    Box::leak(format!("fleet.host.stale.{}", h.name()).into_boxed_str());
+                rules.push(Rule {
+                    name: "alert.fleet.host_stale",
+                    metric,
+                    predicate: Predicate::ValueAbove(0),
+                });
+                Target {
+                    name: h.name().to_string(),
+                    addr: h.addr(),
+                    stale: registry.gauge(metric),
+                }
+            })
+            .collect();
+        hosts_gauge.set(targets.len() as u64);
+
+        Aggregator {
+            monitor: Monitor::new(cfg.monitor_capacity, rules),
+            cfg,
+            targets,
+            registry,
+            scrape_ok,
+            scrape_err,
+            scrape_latency,
+            hosts_stale,
+            series_merged,
+            queue_shed,
+            sim_bytes,
+            prev_shed: 0,
+            prev_sim_bytes: 0,
+            store: Store::new(StoreConfig::default()),
+            published: Arc::new(Mutex::new(String::from("# EOF\n"))),
+            listener: None,
+        }
+    }
+
+    /// The fleet-level obs registry (`fleet.*` self-metrics).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
+    /// The fleet monitor (rules, alert history, derived series).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The fleet store every merged pass is ingested into.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Scrape targets' hostnames, in index order.
+    pub fn host_names(&self) -> Vec<String> {
+        self.targets.iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Scrape one host over the wire and parse strictly. Any failure —
+    /// refused connection, protocol error, unparseable document — makes
+    /// the host stale for this pass.
+    fn scrape_one(&self, target: &Target) -> Result<HostScrape, String> {
+        let client = WireClient::connect_with_timeout(target.addr, self.cfg.io_timeout)
+            .map_err(|e| format!("connect: {e:?}"))?;
+        let text = client
+            .scrape_exposition()
+            .map_err(|e| format!("scrape: {e:?}"))?;
+        let parsed = obs::openmetrics::parse(&text).map_err(|e| format!("parse: {e}"))?;
+        Ok(HostScrape {
+            host: target.name.clone(),
+            samples: parsed.samples,
+        })
+    }
+
+    /// One federation pass at `t_ns`: fan scrapes out across the
+    /// worker pool, merge deterministically, update fleet self-metrics,
+    /// tick the monitor, ingest into the store, and publish the new
+    /// fleet document.
+    pub fn scrape_pass(&mut self, t_ns: u64) -> PassReport {
+        // --- fan out ----------------------------------------------------
+        let queue: BoundedQueue<usize> = BoundedQueue::new(self.targets.len().max(1));
+        for i in 0..self.targets.len() {
+            let _ = queue.try_push(i);
+        }
+        queue.close();
+        let workers = self.cfg.workers.max(1);
+        let mut slots: Vec<Option<Result<HostScrape, String>>> =
+            (0..self.targets.len()).map(|_| None).collect();
+        let mut latencies: Vec<(usize, u64)> = Vec::with_capacity(self.targets.len());
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let this = &*self;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            match queue.pop_timeout(Duration::from_millis(10)) {
+                                Pop::Item(i) => {
+                                    let started = Instant::now();
+                                    let result = this.scrape_one(&this.targets[i]);
+                                    let lat = started.elapsed().as_nanos().min(u64::MAX as u128);
+                                    done.push((i, result, lat as u64));
+                                }
+                                Pop::TimedOut => {}
+                                Pop::Closed => return done,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Ok(list) = h.join() {
+                    for (i, result, lat) in list {
+                        slots[i] = Some(result);
+                        latencies.push((i, lat));
+                    }
+                }
+            }
+        });
+        // Record latencies in host index order: the histogram is
+        // order-insensitive, but deterministic iteration costs nothing.
+        latencies.sort_unstable_by_key(|&(i, _)| i);
+        for &(_, lat) in &latencies {
+            self.scrape_latency.record(lat);
+        }
+
+        // --- classify ---------------------------------------------------
+        let mut stale: Vec<String> = Vec::new();
+        let scrapes: Vec<Option<HostScrape>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(Ok(s)) => {
+                    self.scrape_ok.inc();
+                    self.targets[i].stale.set(0);
+                    Some(s)
+                }
+                Some(Err(_)) | None => {
+                    self.scrape_err.inc();
+                    self.targets[i].stale.set(1);
+                    stale.push(self.targets[i].name.clone());
+                    None
+                }
+            })
+            .collect();
+
+        // --- merge ------------------------------------------------------
+        let merged: MergeOutcome = merge_parallel(&scrapes, workers);
+        let host_text = render(&merged.samples, None);
+        self.series_merged.set(merged.samples.len() as u64);
+        self.hosts_stale.set(stale.len() as u64);
+
+        // Fold per-host monotone counters into fleet-level accumulators
+        // (delta-accumulated: a dead host freezes its contribution
+        // instead of deflating the fleet counter).
+        let sum_of = |name: &str| -> u64 {
+            merged
+                .samples
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| match s.value {
+                    Value::Int(v) => v,
+                    Value::Float(_) => 0,
+                })
+                .sum()
+        };
+        let shed_now = sum_of("pmcd_queue_shed");
+        self.queue_shed.add(shed_now.saturating_sub(self.prev_shed));
+        self.prev_shed = self.prev_shed.max(shed_now);
+        let sim_now = sum_of("pmcd_obs_host_sim_bytes");
+        self.sim_bytes
+            .add(sim_now.saturating_sub(self.prev_sim_bytes));
+        self.prev_sim_bytes = self.prev_sim_bytes.max(sim_now);
+
+        // --- monitor ----------------------------------------------------
+        let snap = obs::Snapshot::take(&self.registry, t_ns);
+        let alerts = self.monitor.tick(t_ns, &snap.scalars);
+
+        // --- store ingest -----------------------------------------------
+        let mut samples_ingested = 0u64;
+        for s in &merged.samples {
+            let Value::Int(v) = s.value else {
+                continue; // merged host docs are integer-only today
+            };
+            let mut key = SeriesKey::new(s.name.clone());
+            for (k, v) in &s.labels {
+                key = key.with_label(k.clone(), v.clone());
+            }
+            let semantics = match s.kind {
+                MetricKind::Counter => obs::metrics::ExportSemantics::Counter,
+                MetricKind::Gauge => obs::metrics::ExportSemantics::Instant,
+            };
+            if self.store.ingest(&key, semantics, t_ns, v).is_ok() {
+                samples_ingested += 1;
+            }
+        }
+        // Fleet self-metrics ride along under host="fleet".
+        let _ = self.store.ingest_snapshot("", &[("host", "fleet")], &snap);
+
+        // --- publish ----------------------------------------------------
+        let mut doc = String::with_capacity(host_text.len() + 1024);
+        doc.push_str("# scrape_ts_ns ");
+        doc.push_str(&t_ns.to_string());
+        doc.push('\n');
+        // Merged host section first, then fleet self-metrics — all
+        // metric names stay unique (`fleet_*` never collides with the
+        // sanitized `pmcd_*`/`perfevent_*` host names), so the full
+        // document still passes the strict parser.
+        doc.push_str(host_text.trim_end_matches("# EOF\n"));
+        let fleet_section = render(&from_exported(&snap.scalars), None);
+        doc.push_str(&fleet_section);
+        {
+            let mut published = self.published.lock().unwrap_or_else(|e| e.into_inner());
+            *published = doc;
+        }
+
+        PassReport {
+            t_ns,
+            scraped: scrapes.iter().filter(|s| s.is_some()).count(),
+            stale,
+            merged_series: merged.samples.len(),
+            kind_conflicts: merged.kind_conflicts,
+            alerts,
+            host_text,
+            samples_ingested,
+        }
+    }
+
+    /// The currently published fleet document (what `/metrics` serves).
+    pub fn published(&self) -> String {
+        self.published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Expose the fleet document on one HTTP `/metrics` endpoint.
+    /// Returns the bound address; idempotent per aggregator (a second
+    /// call replaces the listener).
+    pub fn serve_http<A: std::net::ToSocketAddrs>(
+        &mut self,
+        addr: A,
+    ) -> Result<SocketAddr, FleetError> {
+        let published = Arc::clone(&self.published);
+        let provider: ExpositionProvider =
+            Arc::new(move || published.lock().unwrap_or_else(|e| e.into_inner()).clone());
+        let listener = ScrapeListener::bind_provider(addr, provider, 2, 16)?;
+        let bound = listener.local_addr();
+        self.listener = Some(listener);
+        Ok(bound)
+    }
+}

@@ -107,6 +107,16 @@ pub struct SocketShared {
 }
 
 impl SocketShared {
+    /// A free-standing socket: nest counters, clock and noise stream
+    /// without the per-core cache hierarchies a full [`SimMachine`]
+    /// builds. The fleet simulator runs hundreds of hosts per process
+    /// and only needs each host's DMA/measurement counter surface —
+    /// constructing `SimMachine` per host would cost two orders of
+    /// magnitude more memory for state nobody reads.
+    pub fn standalone(noise: NoiseConfig, seed: u64, clock_hz: f64) -> Arc<Self> {
+        Arc::new(Self::new(noise, seed, clock_hz))
+    }
+
     fn new(noise: NoiseConfig, seed: u64, clock_hz: f64) -> Self {
         SocketShared {
             counters: Arc::new(NestCounters::new()),

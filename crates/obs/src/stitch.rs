@@ -265,6 +265,67 @@ mod tests {
         assert_eq!(path.component("wire"), 0);
     }
 
+    /// Shift every server-side (tid 2) event by a constant clock skew,
+    /// as two hosts with unsynchronised clocks would record them.
+    fn skew_server(events: &mut [SpanEvent], ahead_ns: i64) {
+        for e in events.iter_mut() {
+            if e.tid == 2 {
+                e.start_ns = if ahead_ns >= 0 {
+                    e.start_ns.saturating_add(ahead_ns as u64)
+                } else {
+                    e.start_ns.saturating_sub(ahead_ns.unsigned_abs())
+                };
+            }
+        }
+    }
+
+    /// Cross-host skew (ROADMAP 5c seed): the stitcher matches spans by
+    /// trace id, not by wall-clock overlap, so a server clock running an
+    /// hour ahead or behind must not break the decomposition — the
+    /// budget clamp still makes the components sum to the client RTT
+    /// exactly, and the pieces that survive skew (those measured
+    /// entirely on one clock) keep their attribution.
+    #[test]
+    fn cross_host_clock_skew_still_decomposes_rtt_exactly() {
+        const HOUR_NS: i64 = 3_600_000_000_000;
+        for skew in [HOUR_NS, -HOUR_NS, 12_345, -1] {
+            let mut events = round_trip(9, 10_000_000_000_000);
+            skew_server(&mut events, skew);
+            let path = critical_path(&events, 9).unwrap();
+            assert_eq!(path.rtt_ns, 1000, "skew {skew}");
+            assert_eq!(path.total(), path.rtt_ns, "skew {skew}");
+            // Durations are per-clock, so single-host components keep
+            // their shares under any constant skew.
+            assert_eq!(path.component("server.fetch"), 300, "skew {skew}");
+            assert_eq!(path.component("server.dispatch"), 100, "skew {skew}");
+            assert_eq!(path.component("codec.client"), 80, "skew {skew}");
+        }
+        // Zero skew is the calibrated baseline the loop must agree with.
+        let path = critical_path(&round_trip(9, 10_000_000_000_000), 9).unwrap();
+        assert_eq!(path.component("codec.server"), 100);
+    }
+
+    /// With a skewed server clock the cross-clock containment test for
+    /// server codec spans can misattribute — but never invent time: the
+    /// lost share lands in "wire" and conservation holds for every id
+    /// in a merged multi-trip list.
+    #[test]
+    fn skewed_merged_traces_conserve_time_per_trip() {
+        const SKEWS: [i64; 3] = [0, 250_000_000, -250_000_000];
+        let mut events = Vec::new();
+        for (i, skew) in SKEWS.iter().enumerate() {
+            let mut trip = round_trip(i as u64 + 1, 1_000_000_000 * (i as u64 + 1));
+            skew_server(&mut trip, *skew);
+            events.extend(trip);
+        }
+        for id in trace_ids(&events) {
+            let path = critical_path(&events, id).unwrap();
+            assert_eq!(path.total(), path.rtt_ns, "trace {id}");
+        }
+        let mean = mean_critical_path(&events).unwrap();
+        assert_eq!(mean.total(), mean.rtt_ns);
+    }
+
     #[test]
     fn mean_path_averages_and_conserves() {
         let mut events = round_trip(1, 0);

@@ -23,10 +23,16 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::pool::{BoundedQueue, Pop, PushError};
-use crate::server::{exposition_text, unix_ns, PmcdServer, Shared};
+use crate::server::{exposition_text, unix_ns, PmcdServer};
 
 /// OpenMetrics content type served with every `200`.
 pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// What a listener serves on `GET /metrics`: any callable producing the
+/// current exposition text. [`ScrapeListener::bind`] wires this to a
+/// [`PmcdServer`]'s renderer; the fleet aggregator passes its merged
+/// fleet document instead.
+pub type ExpositionProvider = Arc<dyn Fn() -> String + Send + Sync>;
 
 /// Largest request head (request line + headers) read before answering;
 /// anything longer is malformed for this endpoint.
@@ -59,8 +65,22 @@ impl ScrapeListener {
         workers: usize,
         pending: usize,
     ) -> std::io::Result<Self> {
-        assert!(workers >= 1, "scrape listener needs at least one worker");
         let shared = server.shared();
+        let provider: ExpositionProvider = Arc::new(move || exposition_text(&shared, unix_ns()));
+        Self::bind_provider(addr, provider, workers, pending)
+    }
+
+    /// Bind serving an arbitrary exposition provider — the transport
+    /// (accept loop, bounded queue, shed-at-the-door 503, HTTP framing)
+    /// without the PMCD coupling. The fleet tier serves its merged
+    /// document through this.
+    pub fn bind_provider<A: ToSocketAddrs>(
+        addr: A,
+        provider: ExpositionProvider,
+        workers: usize,
+        pending: usize,
+    ) -> std::io::Result<Self> {
+        assert!(workers >= 1, "scrape listener needs at least one worker");
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -75,12 +95,12 @@ impl ScrapeListener {
             workers: Vec::with_capacity(workers),
         };
         for i in 0..workers {
-            let shared = Arc::clone(&shared);
+            let provider = Arc::clone(&provider);
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let handle = std::thread::Builder::new()
                 .name(format!("pmcd-scrape-{i}"))
-                .spawn(move || worker_loop(&shared, &queue, &shutdown));
+                .spawn(move || worker_loop(&provider, &queue, &shutdown));
             match handle {
                 Ok(h) => out.workers.push(h),
                 Err(e) => return Err(e),
@@ -149,10 +169,14 @@ fn shed(mut stream: TcpStream) {
         stream.write_all(response(503, "Service Unavailable", "scraper at capacity\n").as_bytes());
 }
 
-fn worker_loop(shared: &Shared, queue: &BoundedQueue<TcpStream>, shutdown: &AtomicBool) {
+fn worker_loop(
+    provider: &ExpositionProvider,
+    queue: &BoundedQueue<TcpStream>,
+    shutdown: &AtomicBool,
+) {
     loop {
         match queue.pop_timeout(Duration::from_millis(50)) {
-            Pop::Item(stream) => serve_scrape(shared, stream),
+            Pop::Item(stream) => serve_scrape(provider, stream),
             Pop::TimedOut => {
                 if shutdown.load(Ordering::SeqCst) && queue.is_empty() {
                     return;
@@ -165,7 +189,7 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<TcpStream>, shutdown: &Atom
 
 /// Read one request head and answer it. Never panics on client
 /// misbehaviour; every path ends with the connection closed.
-fn serve_scrape(shared: &Shared, mut stream: TcpStream) {
+fn serve_scrape(provider: &ExpositionProvider, mut stream: TcpStream) {
     if stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
         || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
     {
@@ -173,7 +197,7 @@ fn serve_scrape(shared: &Shared, mut stream: TcpStream) {
     }
     let reply = match read_request_path(&mut stream) {
         Some(path) if path == "/metrics" || path == "/" => {
-            let body = exposition_text(shared, unix_ns());
+            let body = provider();
             response(200, "OK", &body)
         }
         Some(path) => response(404, "Not Found", &format!("no route {path}\n")),
@@ -239,5 +263,54 @@ mod tests {
         assert!(r.ends_with("\r\n\r\n# EOF\n"));
         let nf = response(404, "Not Found", "no route /x\n");
         assert!(nf.contains("text/plain"));
+    }
+
+    #[test]
+    fn content_length_counts_bytes_not_chars() {
+        // A label value can carry multi-byte UTF-8; the frame must
+        // advertise the byte length or a strict client truncates.
+        let body = "x{k=\"h\u{00e9}\"} 1\n"; // é is 2 bytes
+        let r = response(200, "OK", body);
+        let expected = format!("Content-Length: {}\r\n", body.len());
+        assert!(body.len() > body.chars().count());
+        assert!(r.contains(&expected), "frame was: {r}");
+    }
+
+    /// One-shot HTTP GET against a real listener socket, returning
+    /// (status, headers, body).
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect scrape listener");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn listener_routes_and_frames_over_a_real_socket() {
+        let provider: ExpositionProvider = Arc::new(|| "# EOF\n".to_string());
+        let listener =
+            ScrapeListener::bind_provider("127.0.0.1:0", provider, 1, 4).expect("bind provider");
+        let addr = listener.local_addr();
+
+        let (status, head, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert_eq!(body, "# EOF\n");
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+
+        // Unknown paths are 404, not a misrouted exposition, and the
+        // advertised Content-Length matches the actual body bytes.
+        let (status, head, body) = http_get(addr, "/unknown/path");
+        assert_eq!(status, 404);
+        assert!(!body.contains("# EOF"));
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
     }
 }

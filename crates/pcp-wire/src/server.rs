@@ -238,7 +238,22 @@ pub(crate) struct Shared {
     /// The accept queue, visible to workers so `pmcd.queue.depth` can be
     /// fetched like any other metric.
     queue: Arc<BoundedQueue<TcpStream>>,
+    /// Registry exported as `pmcd.obs.*`: the process-global one by
+    /// default, or a private registry when many servers share one
+    /// process (the fleet simulator gives each host its own so host
+    /// expositions stay independent and deterministic).
+    registry: Option<Arc<obs::Registry>>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Snapshot whichever obs registry this server exports.
+    fn obs_snapshot(&self, t_ns: u64) -> obs::Snapshot {
+        match &self.registry {
+            Some(reg) => obs::Snapshot::take(reg, t_ns),
+            None => obs::Snapshot::take_global(t_ns),
+        }
+    }
 }
 
 /// Why the server could not start.
@@ -302,6 +317,22 @@ impl PmcdServer {
         token: &PrivilegeToken,
         config: WireConfig,
     ) -> Result<Self, ServerError> {
+        Self::bind_with_registry(addr, pmns, sockets, token, config, None)
+    }
+
+    /// [`PmcdServer::bind`], but exporting `registry` as `pmcd.obs.*`
+    /// instead of the process-global obs registry. The fleet simulator
+    /// runs hundreds of servers in one process; a private registry per
+    /// server keeps each host's exposition independent of its
+    /// neighbours (and of the test harness's own instrumentation).
+    pub fn bind_with_registry<A: ToSocketAddrs>(
+        addr: A,
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        token: &PrivilegeToken,
+        config: WireConfig,
+        registry: Option<Arc<obs::Registry>>,
+    ) -> Result<Self, ServerError> {
         token.require_elevated()?;
         assert!(config.workers >= 1, "server needs at least one worker");
         assert!(config.max_fetch_batch >= 1);
@@ -316,6 +347,7 @@ impl PmcdServer {
             config: config.clone(),
             stats: ServerStats::default(),
             queue: Arc::clone(&queue),
+            registry,
             shutdown: AtomicBool::new(false),
         });
 
@@ -362,6 +394,25 @@ impl PmcdServer {
         config: WireConfig,
     ) -> Result<Self, ServerError> {
         Self::bind(addr, pmns, sockets, &PrivilegeToken::elevated(), config)
+    }
+
+    /// [`PmcdServer::bind_system`] with a private obs registry (see
+    /// [`PmcdServer::bind_with_registry`]).
+    pub fn bind_system_with_registry<A: ToSocketAddrs>(
+        addr: A,
+        pmns: Pmns,
+        sockets: Vec<Arc<SocketShared>>,
+        config: WireConfig,
+        registry: Option<Arc<obs::Registry>>,
+    ) -> Result<Self, ServerError> {
+        Self::bind_with_registry(
+            addr,
+            pmns,
+            sockets,
+            &PrivilegeToken::elevated(),
+            config,
+            registry,
+        )
     }
 
     /// The address clients should connect to.
@@ -729,7 +780,7 @@ pub(crate) fn exposition_text(shared: &Shared, scrape_ts_ns: u64) -> String {
     // same snapshot→samples path the store ingest and the archive
     // scheduler use, so every consumer stamps a registry read the same
     // way by construction.
-    let snap = obs::Snapshot::take_global(scrape_ts_ns);
+    let snap = shared.obs_snapshot(scrape_ts_ns);
     let export = snap.scalars;
     let mut samples: Vec<OmSample> = Vec::with_capacity(SELF_METRICS.len() + export.len());
     for (idx, &(name, _units, semantics)) in SELF_METRICS.iter().enumerate() {
@@ -738,24 +789,24 @@ pub(crate) fn exposition_text(shared: &Shared, scrape_ts_ns: u64) -> String {
             QUEUE_SHED_IDX => peek(&shared.stats.clients_rejected),
             _ => shared.stats.value(idx).unwrap_or(0),
         };
-        samples.push(OmSample {
-            name: sanitize(name),
-            kind: match semantics {
+        samples.push(OmSample::new(
+            sanitize(name),
+            match semantics {
                 MetricSemantics::Counter => MetricKind::Counter,
                 MetricSemantics::Instant => MetricKind::Gauge,
             },
-            value: Value::Int(value),
-        });
+            Value::Int(value),
+        ));
     }
     for e in &export {
-        samples.push(OmSample {
-            name: sanitize(&format!("{}{}", selfmetrics::OBS_PREFIX, e.name)),
-            kind: match e.semantics {
+        samples.push(OmSample::new(
+            sanitize(&format!("{}{}", selfmetrics::OBS_PREFIX, e.name)),
+            match e.semantics {
                 obs::metrics::ExportSemantics::Counter => MetricKind::Counter,
                 obs::metrics::ExportSemantics::Instant => MetricKind::Gauge,
             },
-            value: Value::Int(e.value),
-        });
+            Value::Int(e.value),
+        ));
     }
     obs::openmetrics::render(&samples, Some(scrape_ts_ns))
 }
@@ -773,7 +824,7 @@ fn fetch_one(
     obs_snap: &mut Option<obs::Snapshot>,
 ) -> Option<u64> {
     if id >= OBS_METRIC_BASE {
-        let snap = obs_snap.get_or_insert_with(|| obs::Snapshot::take_global(unix_ns()));
+        let snap = obs_snap.get_or_insert_with(|| shared.obs_snapshot(unix_ns()));
         return selfmetrics::obs_value_from(&snap.scalars, MetricId(id));
     }
     if id >= SELF_METRIC_BASE {

@@ -69,8 +69,11 @@ use std::path::{Path, PathBuf};
 /// archived runs — a panic there loses history, so every fallible path
 /// must return a typed `StoreError`. `obs` runs on every hot path of
 /// every instrumented binary — a panic in the tracer takes the host
-/// process down with it, so it too must stay typed-error-only.
-const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench", "store", "obs"];
+/// process down with it, so it too must stay typed-error-only. `fleet`
+/// federates every host's data: a panic in the aggregator blinds the
+/// whole fleet at once, so scrape/merge failures must degrade to
+/// per-host staleness instead.
+const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench", "store", "obs", "fleet"];
 
 /// Crates allowed to read `NestCounters` without a token (rule 3): they
 /// implement the privilege boundary rather than crossing it.
@@ -91,7 +94,7 @@ const METRIC_EXEMPT_CRATES: &[&str] = &["obs"];
 
 /// Crates whose locks fall under rules 6–7: the concurrent measurement
 /// core whose deadlock-freedom the paper's indirection claim rests on.
-pub const LOCK_RANK_CRATES: &[&str] = &["pcp-wire", "store", "obs", "pcp"];
+pub const LOCK_RANK_CRATES: &[&str] = &["pcp-wire", "store", "obs", "pcp", "fleet"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,65 @@
+//! Tier-1 acceptance for the fleet federation tier (DESIGN.md §14):
+//! a small fleet scrapes end to end over the real wire, the merged
+//! document is deterministic across fan-out widths, federation labels
+//! survive into the store, and the single-host fault drill alerts on
+//! exactly the killed host.
+
+use fleet::{host_name, Aggregator, AggregatorConfig, Fleet};
+
+const SEC: u64 = 1_000_000_000;
+
+fn aggregator(fleet: &Fleet, workers: usize) -> Aggregator {
+    Aggregator::new(
+        fleet,
+        AggregatorConfig {
+            workers,
+            ..AggregatorConfig::default()
+        },
+    )
+}
+
+/// The federation pipeline end to end: N live PMCDs → fan-out scrape →
+/// relabel → merge → monitor/store — deterministic regardless of the
+/// worker count, and faults isolate to the failing host.
+#[test]
+fn small_fleet_federates_deterministically_and_isolates_faults() {
+    // Two fresh fleets from one seed, scraped with different fan-out
+    // widths, must produce byte-identical merged host documents.
+    let host_texts: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&workers| {
+            let fleet = Fleet::spawn(3, 0x7E11).expect("spawn fleet");
+            let mut agg = aggregator(&fleet, workers);
+            fleet.tick_traffic(1);
+            let report = agg.scrape_pass(SEC);
+            assert_eq!(report.scraped, 3);
+            assert!(report.alerts.is_empty(), "clean fleet alerted");
+            report.host_text
+        })
+        .collect();
+    assert_eq!(host_texts[0], host_texts[1]);
+    for i in 0..3 {
+        assert!(host_texts[0].contains(&format!(r#"host="{}""#, host_name(i))));
+    }
+
+    // One fleet, carried on: per-host series are queryable by the
+    // federation label, and killing one host trips exactly its alert.
+    let mut fleet = Fleet::spawn(3, 0x7E11).expect("spawn fleet");
+    let mut agg = aggregator(&fleet, 4);
+    fleet.tick_traffic(1);
+    assert!(agg.scrape_pass(SEC).alerts.is_empty());
+
+    fleet.kill_host(1);
+    fleet.tick_traffic(2);
+    let fault = agg.scrape_pass(2 * SEC);
+    assert_eq!(fault.scraped, 2);
+    assert_eq!(fault.stale, vec![host_name(1)]);
+    assert_eq!(fault.alerts.len(), 1, "alerts: {:?}", fault.alerts);
+    assert_eq!(fault.alerts[0].rule, "alert.fleet.host_stale");
+    assert_eq!(fault.alerts[0].metric, "fleet.host.stale.tellico-0001");
+
+    let sel = store::Selector::metric("pmcd_obs_host_sim_bytes").with_label("host", host_name(0));
+    let got = agg.store().query(&sel, 0, u64::MAX).expect("query");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].samples.len(), 2, "host 0 ingested on both passes");
+}

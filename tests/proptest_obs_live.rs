@@ -104,7 +104,7 @@ proptest! {
             } else {
                 (MetricKind::Gauge, Value::Float(*float_val))
             };
-            samples.push(OmSample { name, kind, value });
+            samples.push(OmSample::new(name, kind, value));
         }
         let text = render(&samples, ts);
         let parsed = parse(&text).unwrap_or_else(|e| panic!("rejected own render: {e}\n{text}"));
@@ -113,5 +113,39 @@ proptest! {
         prop_assert_eq!(render(&parsed.samples, parsed.scrape_ts_ns), text);
         // Stripping the timestamp is exactly "render without one".
         prop_assert_eq!(strip_timestamp(&text), render(&samples, None));
+    }
+
+    /// Labelled samples round-trip too, with hostile bytes in label
+    /// values: backslashes, quotes and newlines render escaped and
+    /// parse back to the original value. Strings are synthesised from
+    /// byte choices because the vendored proptest shim has no string
+    /// strategies.
+    #[test]
+    fn labelled_exposition_round_trips_with_hostile_values(
+        raw in prop::collection::vec(
+            prop::collection::vec(0u8..8, 0..12),
+            1..12
+        ),
+        counters in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let alphabet = ['\\', '"', '\n', ' ', ',', '}', '{', '\u{00e9}'];
+        let mut samples: Vec<OmSample> = Vec::new();
+        for (i, choices) in raw.iter().enumerate() {
+            let value: String = choices.iter().map(|&c| alphabet[c as usize]).collect();
+            let kind = if counters[i % counters.len()] {
+                MetricKind::Counter
+            } else {
+                MetricKind::Gauge
+            };
+            samples.push(
+                OmSample::new(format!("fleet_probe_{i}"), kind, Value::Int(i as u64))
+                    .with_label("host", format!("tellico-{i:04}"))
+                    .with_label("v", value),
+            );
+        }
+        let text = render(&samples, None);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("rejected own render: {e}\n{text}"));
+        prop_assert_eq!(&parsed.samples, &samples);
+        prop_assert_eq!(render(&parsed.samples, None), text);
     }
 }
