@@ -44,6 +44,7 @@ pub const TAGS: &[&str] = &[
     "table2",
     "ablation",
     "papi_avail",
+    "refute",
 ];
 
 /// Map a point-level failure source into a typed runner error.
@@ -108,6 +109,7 @@ pub fn build(tag: &str, mode: Mode, args: &Args) -> Option<Experiment> {
         "table2" => Some(table2()),
         "ablation" => Some(ablation(mode)),
         "papi_avail" => Some(papi_avail(args)),
+        "refute" => Some(refute_exp(args)),
         _ => None,
     }
 }
@@ -930,6 +932,49 @@ fn papi_avail_text(system: System) -> String {
         out.push_str(&format!("  {:<78} ({})\n", ev.name, ev.units));
     }
     out
+}
+
+// --- refute -----------------------------------------------------------
+
+/// Columns of the refutation verdict table ([`refute::Verdict::csv_line`]).
+const REFUTE_CSV_COLUMNS: &str = "mechanism,band_rel,band_abs_bytes,pred_read_bytes,\
+                                  meas_read_bytes,pred_write_bytes,meas_write_bytes,\
+                                  worst_err_bytes,worst_site,verdict";
+
+/// The CounterPoint-style refutation catalog (DESIGN.md §15): every
+/// mechanism of [`refute::CATALOG`] runs its micro-kernel through the
+/// full PAPI → PCP → wire path and is judged against its closed-form
+/// prediction. A contradiction is a *point error* — it fails the run
+/// (and hence the golden gate), not just a row in the table.
+fn refute_exp(args: &Args) -> Experiment {
+    let base = args.get_u64("seed", 1);
+    let mut exp = Experiment::new("refute", "Model-refutation verdict catalog");
+    exp.push(Point::fixed(header_lines(
+        "refute",
+        &[
+            ("mechanisms", refute::CATALOG.len().to_string()),
+            ("path", "PAPI/PCP/wire".to_owned()),
+            ("machine", "quiet Summit".to_owned()),
+        ],
+    )));
+    exp.push(Point::fixed(REFUTE_CSV_COLUMNS));
+    for (i, mech) in refute::CATALOG.iter().enumerate() {
+        let seed = point_seed(base, "refute", i as u64);
+        exp.push(Point::run(mech.name, move || {
+            let mech = &refute::CATALOG[i];
+            let v =
+                refute::refute_mechanism(mech, seed).map_err(|e| perr("refute", mech.name, e))?;
+            if !v.agrees {
+                return Err(perr("refute", mech.name, v.detail()));
+            }
+            Ok(PointOutput::with_bytes(v.csv_line(), v.measured.total()))
+        }));
+    }
+    exp.push(Point::fixed("\n# Models under test:"));
+    for mech in refute::CATALOG {
+        exp.push(Point::fixed(format!("#   {}: {}", mech.name, mech.model)));
+    }
+    exp
 }
 
 #[cfg(test)]

@@ -72,8 +72,12 @@ use std::path::{Path, PathBuf};
 /// process down with it, so it too must stay typed-error-only. `fleet`
 /// federates every host's data: a panic in the aggregator blinds the
 /// whole fleet at once, so scrape/merge failures must degrade to
-/// per-host staleness instead.
-const NO_PANIC_CRATES: &[&str] = &["pcp-wire", "pcp", "bench", "store", "obs", "fleet"];
+/// per-host staleness instead. `refute` renders verdicts inside the
+/// repro runner — a panic there would take the whole refutation sweep
+/// down instead of failing one mechanism with a typed `RefuteError`.
+const NO_PANIC_CRATES: &[&str] = &[
+    "pcp-wire", "pcp", "bench", "store", "obs", "fleet", "refute",
+];
 
 /// Crates allowed to read `NestCounters` without a token (rule 3): they
 /// implement the privilege boundary rather than crossing it.
@@ -94,7 +98,7 @@ const METRIC_EXEMPT_CRATES: &[&str] = &["obs"];
 
 /// Crates whose locks fall under rules 6–7: the concurrent measurement
 /// core whose deadlock-freedom the paper's indirection claim rests on.
-pub const LOCK_RANK_CRATES: &[&str] = &["pcp-wire", "store", "obs", "pcp", "fleet"];
+pub const LOCK_RANK_CRATES: &[&str] = &["pcp-wire", "store", "obs", "pcp", "fleet", "refute"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]

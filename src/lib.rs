@@ -24,6 +24,7 @@
 //! * [`nvml`] / [`ib`] — GPU power and InfiniBand substrates.
 //! * [`ranks`] — the MPI-like distributed execution substrate.
 //! * [`profiling`] — the multi-component timeline profiler (Figs. 11–12).
+//! * [`refute`] — the CounterPoint-style model-refutation harness.
 
 pub use blas_kernels as kernels;
 pub use fft3d;
@@ -38,3 +39,4 @@ pub use pcp_wire as wire;
 pub use perf_uncore_sim as perfuncore;
 pub use qmc_mini as qmc;
 pub use ranksim as ranks;
+pub use refute;

@@ -198,6 +198,7 @@ golden! {
     golden_table2 => "table2",
     golden_ablation => "ablation",
     golden_papi_avail => "papi_avail",
+    golden_refute => "refute",
 }
 
 /// The committed golden set must cover the whole catalog — a new
