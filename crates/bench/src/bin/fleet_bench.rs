@@ -38,6 +38,17 @@ const SEC: u64 = 1_000_000_000;
 const MAX_P99_NS: u64 = 2_000_000_000;
 const MIN_SAMPLES_PER_S: f64 = 5_000.0;
 
+/// Tracing-cost gates: opening and dropping a span must stay cheap
+/// enough to leave on everywhere, and a traced scrape phase must finish
+/// within 5% of an equally-shaped untraced phase (plus an absolute
+/// allowance for scheduler noise on loaded CI machines). Both phases
+/// run without concurrent HTTP load so the comparison isolates the
+/// tracing cost; the per-host histogram quantiles are NOT used for the
+/// comparison because its buckets are powers of two (a bucketed p99 can
+/// only move in 2x jumps, which would make a 5% bound meaningless).
+const MAX_NS_PER_SPAN: f64 = 50.0;
+const TRACED_WALL_SLACK: Duration = Duration::from_millis(200);
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -70,14 +81,117 @@ fn http_get_metrics(addr: std::net::SocketAddr) -> Result<usize, String> {
     Ok(response.len())
 }
 
+/// Time raw span open/drop cost: batches of guards, with an untimed
+/// drain between batches so the rings never saturate into drop-counting
+/// (which would make spans look cheaper than they are). Returns
+/// `(best_batch, mean)` ns/span; the gate uses the best batch — the
+/// minimum is the cost of the span machinery itself, while the mean
+/// also absorbs whatever interrupts landed inside timed batches. Run
+/// this before the fleet spawns, or 256 host threads' scheduler churn
+/// pollutes the measurement.
+fn measure_span_overhead() -> (f64, f64) {
+    const BATCHES: usize = 64;
+    const PER_BATCH: usize = 2_048;
+    let mut best = f64::MAX;
+    let mut total = 0.0f64;
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for i in 0..PER_BATCH {
+            let _span = obs::span!("bench.span.overhead", i as u64); // obs-ok: the measurement itself
+        }
+        let ns = t.elapsed().as_nanos() as f64 / PER_BATCH as f64;
+        best = best.min(ns);
+        total += ns;
+        let _ = obs::trace::drain();
+    }
+    (best, total / BATCHES as f64)
+}
+
+/// Total wall time of `PASSES` scrape passes over `fleet` with tracing
+/// on (`traced`) or off, after one untimed warm-up pass, with no
+/// concurrent HTTP load. The two phases are shaped identically so
+/// their walls compare the cost of always-on tracing and nothing else.
+fn fleet_pass_wall(fleet: &Fleet, traced: bool) -> Result<Duration, String> {
+    let tag = if traced { "traced" } else { "untraced" };
+    let mut agg = Aggregator::new(
+        fleet,
+        AggregatorConfig {
+            workers: WORKERS,
+            debug_passes: if traced {
+                AggregatorConfig::default().debug_passes
+            } else {
+                0
+            },
+            ..AggregatorConfig::default()
+        },
+    );
+    let mut wall = Duration::ZERO;
+    for pass in 0..=PASSES {
+        fleet.tick_traffic(pass + 1);
+        let t = Instant::now();
+        let report = agg.scrape_pass((pass + 1) * SEC);
+        let elapsed = t.elapsed();
+        if pass > 0 {
+            // Pass 0 is the warm-up: connections and allocator caches.
+            wall += elapsed;
+        }
+        if report.scraped != HOSTS {
+            return Err(format!(
+                "{tag} pass {pass}: scraped {} of {HOSTS}",
+                report.scraped
+            ));
+        }
+        if report.trace.is_some() != traced {
+            return Err(format!(
+                "{tag} pass {pass}: trace presence {} does not match mode",
+                report.trace.is_some()
+            ));
+        }
+    }
+    Ok(wall)
+}
+
 fn run() -> Result<(), String> {
-    println!("fleet_bench: spawning {HOSTS} hosts (seed {SEED:#x})");
+    // Span cost first, on a quiet process: once the 256 host threads
+    // are up, scheduler churn would be measured instead of the tracer.
+    let (ns_per_span, ns_per_span_mean) = measure_span_overhead();
+    println!(
+        "fleet_bench: span overhead {ns_per_span:.1} ns/span \
+         (best batch; mean {ns_per_span_mean:.1}) — open + drop + ring push"
+    );
+
+    println!("  spawning {HOSTS} hosts (seed {SEED:#x})");
     let t0 = Instant::now();
     let mut fleet = Fleet::spawn(HOSTS, SEED).map_err(|e| format!("spawn: {e}"))?;
     let spawn_s = t0.elapsed().as_secs_f64();
     println!(
         "  spawned in {spawn_s:.2} s ({} PMCDs on loopback)",
         fleet.len()
+    );
+
+    // Untraced-vs-traced cost comparison over identically-shaped,
+    // HTTP-free phases (continuous wall times, not bucketed quantiles).
+    // Interleaved rounds with a per-mode minimum: scrape walls on a
+    // loopback fleet are scheduler-noisy, and the minimum of each mode
+    // is the clean estimate of what that mode costs.
+    let mut untraced_wall = Duration::MAX;
+    let mut traced_wall = Duration::MAX;
+    for round in 0..2 {
+        let u = fleet_pass_wall(&fleet, false)?;
+        let t = fleet_pass_wall(&fleet, true)?;
+        println!(
+            "  tracing cost round {round}: untraced {:.3} s, traced {:.3} s",
+            u.as_secs_f64(),
+            t.as_secs_f64()
+        );
+        untraced_wall = untraced_wall.min(u);
+        traced_wall = traced_wall.min(t);
+    }
+    println!(
+        "  tracing cost: untraced {:.3} s vs traced {:.3} s over {PASSES} passes ({:+.1}%)",
+        untraced_wall.as_secs_f64(),
+        traced_wall.as_secs_f64(),
+        (traced_wall.as_secs_f64() / untraced_wall.as_secs_f64() - 1.0) * 100.0
     );
 
     let mut agg = Aggregator::new(
@@ -160,6 +274,16 @@ fn run() -> Result<(), String> {
             .unwrap_or(0)
     };
     let (p50_ns, p99_ns, max_ns) = (quantile("p50"), quantile("p99"), quantile("max"));
+    // Straggler chain quantiles across the traced passes, from the
+    // stitched fan-out traces via `fleet.pass.straggler_ns`.
+    let straggler_of = |suffix: &str| -> u64 {
+        snap.scalars
+            .iter()
+            .find(|e| e.name == format!("fleet.pass.straggler_ns.{suffix}"))
+            .map(|e| e.value)
+            .unwrap_or(0)
+    };
+    let (straggler_p50_ns, straggler_p99_ns) = (straggler_of("p50"), straggler_of("p99"));
 
     println!(
         "  {PASSES} passes x {HOSTS} hosts, {WORKERS} workers: {:.2} s total pass wall",
@@ -170,6 +294,11 @@ fn run() -> Result<(), String> {
         p50_ns as f64 / 1e6,
         p99_ns as f64 / 1e6,
         max_ns as f64 / 1e6
+    );
+    println!(
+        "  straggler chain: p50 {:.2} ms, p99 {:.2} ms",
+        straggler_p50_ns as f64 / 1e6,
+        straggler_p99_ns as f64 / 1e6
     );
     println!("  merged document: {merged_series} series/pass");
     println!("  store ingest: {samples_ingested} samples, {samples_per_s:.0} samples/s");
@@ -218,6 +347,11 @@ fn run() -> Result<(), String> {
         samples_per_s,
         http_ok,
         http_bytes,
+        straggler_p50_ns,
+        straggler_p99_ns,
+        ns_per_span,
+        &untraced_wall,
+        &traced_wall,
     );
 
     if http_ok == 0 {
@@ -233,7 +367,28 @@ fn run() -> Result<(), String> {
             "ingest {samples_per_s:.0} samples/s below the {MIN_SAMPLES_PER_S} floor"
         ));
     }
-    println!("PASS: p99 <= {MAX_P99_NS} ns, >= {MIN_SAMPLES_PER_S} samples/s, fault drill exact");
+    if ns_per_span > MAX_NS_PER_SPAN {
+        return Err(format!(
+            "span overhead {ns_per_span:.1} ns/span above the {MAX_NS_PER_SPAN} ns ceiling"
+        ));
+    }
+    let traced_ceiling = untraced_wall + untraced_wall / 20 + TRACED_WALL_SLACK;
+    if traced_wall > traced_ceiling {
+        return Err(format!(
+            "traced pass wall {:.3} s above untraced {:.3} s + 5% + {:.1} s slack",
+            traced_wall.as_secs_f64(),
+            untraced_wall.as_secs_f64(),
+            TRACED_WALL_SLACK.as_secs_f64()
+        ));
+    }
+    if straggler_p99_ns == 0 {
+        return Err("no straggler chains recorded by the traced passes".into());
+    }
+    println!(
+        "PASS: p99 <= {MAX_P99_NS} ns, >= {MIN_SAMPLES_PER_S} samples/s, \
+         {ns_per_span:.1} ns/span <= {MAX_NS_PER_SPAN}, traced wall within 5% of untraced, \
+         fault drill exact"
+    );
 
     repro_bench::obsreport::write_artifacts("fleet_bench");
     Ok(())
@@ -253,6 +408,11 @@ fn write_bench_fleet(
     samples_per_s: f64,
     http_ok: u64,
     http_bytes: u64,
+    straggler_p50_ns: u64,
+    straggler_p99_ns: u64,
+    ns_per_span: f64,
+    untraced_wall: &Duration,
+    traced_wall: &Duration,
 ) {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"hosts\": {HOSTS},\n"));
@@ -274,7 +434,18 @@ fn write_bench_fleet(
         HTTP_CLIENTS * HTTP_GETS_PER_CLIENT
     ));
     json.push_str(&format!("  \"http_requests_ok\": {http_ok},\n"));
-    json.push_str(&format!("  \"http_bytes\": {http_bytes}\n"));
+    json.push_str(&format!("  \"http_bytes\": {http_bytes},\n"));
+    json.push_str(&format!("  \"straggler_p50_ns\": {straggler_p50_ns},\n"));
+    json.push_str(&format!("  \"straggler_p99_ns\": {straggler_p99_ns},\n"));
+    json.push_str(&format!("  \"span_overhead_ns\": {ns_per_span:.1},\n"));
+    json.push_str(&format!(
+        "  \"untraced_pass_wall_s\": {:.3},\n",
+        untraced_wall.as_secs_f64()
+    ));
+    json.push_str(&format!(
+        "  \"traced_pass_wall_s\": {:.3}\n",
+        traced_wall.as_secs_f64()
+    ));
     json.push_str("}\n");
     if std::fs::create_dir_all("results").is_ok()
         && std::fs::write("results/BENCH_fleet.json", &json).is_ok()

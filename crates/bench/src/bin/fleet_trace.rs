@@ -1,0 +1,151 @@
+//! Diagnostics-plane artifact producer: run a small traced fleet, pull
+//! the `/debug/*` endpoints over real HTTP, verify conservation on the
+//! stitched traces, and save the artifacts CI uploads:
+//!
+//! * `results/TRACE_fleet_pass.json` — Chrome-trace JSON of the
+//!   retained passes (load into `chrome://tracing` / Perfetto; one pid
+//!   lane per host);
+//! * `results/fleet_passes.txt` — the `/debug/passes` table with
+//!   per-pass straggler attribution and skew.
+//!
+//! Exits nonzero when any endpoint misbehaves or any pass fails
+//! conservation, so the CI job doubles as an end-to-end check.
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fleet::{Aggregator, AggregatorConfig, Fleet};
+
+const HOSTS: usize = 16;
+const PASSES: u64 = 3;
+const SEED: u64 = 0x7E11_C0DE;
+const SEC: u64 = 1_000_000_000;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleet_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, target: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: fleet\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    if !response.starts_with("HTTP/1.1 200 OK\r\n") {
+        return Err(format!(
+            "GET {target}: {}",
+            response.lines().next().unwrap_or("<empty>")
+        ));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| format!("GET {target}: no body"))
+}
+
+fn run() -> Result<(), String> {
+    let fleet = Fleet::spawn(HOSTS, SEED).map_err(|e| format!("spawn: {e}"))?;
+    let mut agg = Aggregator::new(
+        &fleet,
+        AggregatorConfig {
+            workers: 8,
+            ..AggregatorConfig::default()
+        },
+    );
+    let addr = agg
+        .serve_http("127.0.0.1:0")
+        .map_err(|e| format!("serve_http: {e}"))?;
+
+    for pass in 1..=PASSES {
+        fleet.tick_traffic(pass);
+        let report = agg.scrape_pass(pass * SEC);
+        if report.scraped != HOSTS {
+            return Err(format!(
+                "pass {pass}: scraped {} of {HOSTS} (stale: {:?})",
+                report.scraped, report.stale
+            ));
+        }
+        let trace = report
+            .trace
+            .as_ref()
+            .ok_or_else(|| format!("pass {pass}: no stitched trace"))?;
+        // Conservation, end to end over the real wire: phases sum to
+        // the measured wall, components sum to each host chain.
+        if trace.total() != trace.wall_ns {
+            return Err(format!(
+                "pass {pass}: phases sum {} != wall {}",
+                trace.total(),
+                trace.wall_ns
+            ));
+        }
+        if trace.hosts.len() != HOSTS {
+            return Err(format!(
+                "pass {pass}: {} host chains of {HOSTS}",
+                trace.hosts.len()
+            ));
+        }
+        for h in &trace.hosts {
+            let parts: u64 = h.components.iter().map(|(_, v)| v).sum();
+            if parts != h.chain_ns {
+                return Err(format!(
+                    "pass {pass} host {}: components {} != chain {}",
+                    h.host_index, parts, h.chain_ns
+                ));
+            }
+        }
+        let straggler = trace
+            .straggler_share()
+            .ok_or_else(|| format!("pass {pass}: no straggler"))?;
+        println!(
+            "pass {}: wall {:.3} ms, straggler host {:04} ({:.3} ms chain, skew {}/1000)",
+            report.pass_id,
+            trace.wall_ns as f64 / 1e6,
+            straggler.host_index,
+            straggler.chain_ns as f64 / 1e6,
+            trace.skew_ratio_permille()
+        );
+    }
+
+    let trace_json = http_get(addr, "/debug/trace")?;
+    let parsed = obs::chrome::parse_chrome_trace(&trace_json)
+        .map_err(|e| format!("/debug/trace is not valid chrome JSON: {e}"))?;
+    let pids: std::collections::BTreeSet<u64> = parsed.iter().map(|e| e.pid).collect();
+    if pids.len() < HOSTS {
+        return Err(format!(
+            "/debug/trace: {} pid lanes, want >= {HOSTS} (one per host)",
+            pids.len()
+        ));
+    }
+    let passes_txt = http_get(addr, "/debug/passes")?;
+    if !passes_txt.contains("straggler host") {
+        return Err("/debug/passes has no straggler attribution".into());
+    }
+
+    std::fs::create_dir_all("results").map_err(|e| format!("mkdir results: {e}"))?;
+    std::fs::write("results/TRACE_fleet_pass.json", &trace_json)
+        .map_err(|e| format!("write trace: {e}"))?;
+    std::fs::write("results/fleet_passes.txt", &passes_txt)
+        .map_err(|e| format!("write passes: {e}"))?;
+    println!(
+        "wrote results/TRACE_fleet_pass.json ({} events) and results/fleet_passes.txt ({} lines)",
+        parsed.len(),
+        passes_txt.lines().count()
+    );
+    println!("PASS: {PASSES} passes traced, conservation exact, endpoints live");
+    Ok(())
+}

@@ -1,5 +1,16 @@
 //! The federating aggregator: scrape fan-out, merge, re-exposition,
-//! store ingest and fleet-level alerting.
+//! store ingest, fleet-level alerting — and always-on pass tracing
+//! feeding the `/debug/*` diagnostics plane (DESIGN.md §16).
+//!
+//! Every [`Aggregator::scrape_pass`] mints a pass-level trace id and
+//! hands each host scrape a child id (`obs::stitch::fanout_child_id`)
+//! that rides the `Pdu::Exposition` frame (protocol v3). The pass body
+//! is wrapped in phase spans (fan-out / merge / ingest); after the
+//! pass closes, the aggregator drains its rings and stitches an
+//! [`obs::stitch::FanoutTrace`] whose phase shares sum to the measured
+//! pass wall time exactly and whose straggler host feeds the
+//! `fleet.pass.straggler_ns` / `fleet.pass.skew_ratio` metrics and the
+//! `alert.fleet.straggler_skew` rule.
 
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
@@ -7,11 +18,13 @@ use std::time::{Duration, Instant};
 
 use obs::derive::{Monitor, Predicate, Rule};
 use obs::openmetrics::{from_exported, render, MetricKind, Value};
+use obs::stitch::{self, FanoutTrace};
 use pcp_wire::pool::{BoundedQueue, Pop};
-use pcp_wire::scrape::ExpositionProvider;
+use pcp_wire::scrape::{HttpResponse, RequestHandler, CONTENT_TYPE};
 use pcp_wire::{ScrapeListener, WireClient};
 use store::{SeriesKey, Store, StoreConfig};
 
+use crate::debug::{DebugPlane, PassRecord, DEFAULT_DEBUG_PASSES};
 use crate::host::Fleet;
 use crate::merge::{merge_parallel, HostScrape, MergeOutcome};
 use crate::FleetError;
@@ -28,6 +41,15 @@ pub struct AggregatorConfig {
     pub sim_rate_alert_bytes_per_s: f64,
     /// Per-connection I/O timeout for host scrapes.
     pub io_timeout: Duration,
+    /// Passes retained by the debug plane — the K of the `/debug/*`
+    /// endpoints. 0 disables pass tracing and capture entirely (the
+    /// untraced baseline fleet_bench compares against).
+    pub debug_passes: usize,
+    /// `alert.fleet.straggler_skew` fires when a pass's straggler skew
+    /// (`fleet.pass.skew_ratio`, permille of the mean host chain)
+    /// exceeds this. Default `u64::MAX`: silent unless a caller opts
+    /// into a realistic threshold (1000 = perfectly balanced).
+    pub straggler_skew_alert_permille: u64,
 }
 
 impl Default for AggregatorConfig {
@@ -39,6 +61,8 @@ impl Default for AggregatorConfig {
             // silent unless a caller opts into a realistic threshold.
             sim_rate_alert_bytes_per_s: 1e15,
             io_timeout: Duration::from_secs(5),
+            debug_passes: DEFAULT_DEBUG_PASSES,
+            straggler_skew_alert_permille: u64::MAX,
         }
     }
 }
@@ -65,6 +89,13 @@ pub struct PassReport {
     pub host_text: String,
     /// Samples ingested into the fleet store this pass.
     pub samples_ingested: u64,
+    /// Pass-level trace id (child scrape ids are
+    /// `stitch::fanout_child_id(pass_id, host_index)`).
+    pub pass_id: u64,
+    /// The stitched fan-out tree for this pass; `None` when tracing is
+    /// disabled (`debug_passes == 0`) or the pass span was lost to ring
+    /// eviction.
+    pub trace: Option<FanoutTrace>,
 }
 
 /// One scrape target, fixed at aggregator construction so a killed
@@ -88,10 +119,13 @@ pub struct Aggregator {
     series_merged: Arc<obs::Gauge>,
     queue_shed: Arc<obs::Counter>,
     sim_bytes: Arc<obs::Counter>,
+    straggler_ns: Arc<obs::Histogram>,
+    skew_ratio: Arc<obs::Gauge>,
     prev_shed: u64,
     prev_sim_bytes: u64,
     monitor: Monitor,
-    store: Store,
+    store: Arc<Store>,
+    debug: Arc<DebugPlane>,
     // lock-rank: fleet.1 — the published fleet document; a leaf, written
     // at the end of a pass and read by the scrape provider. Nothing else
     // is ever acquired while it is held.
@@ -113,6 +147,8 @@ impl Aggregator {
         let series_merged = registry.gauge("fleet.series.merged");
         let queue_shed = registry.counter("fleet.queue.shed");
         let sim_bytes = registry.counter("fleet.sim.bytes");
+        let straggler_ns = registry.histogram("fleet.pass.straggler_ns");
+        let skew_ratio = registry.gauge("fleet.pass.skew_ratio");
 
         let mut rules = vec![
             Rule {
@@ -124,6 +160,14 @@ impl Aggregator {
                 name: "alert.fleet.aggregate_sim_rate",
                 metric: "fleet.sim.bytes",
                 predicate: Predicate::RateAbove(cfg.sim_rate_alert_bytes_per_s),
+            },
+            // The canonical straggler-skew rule: fires when one host's
+            // critical chain stretches the pass beyond the configured
+            // multiple (permille) of the mean host chain.
+            Rule {
+                name: "alert.fleet.straggler_skew",
+                metric: "fleet.pass.skew_ratio",
+                predicate: Predicate::ValueAbove(cfg.straggler_skew_alert_permille),
             },
         ];
         let targets: Vec<Target> = fleet
@@ -149,6 +193,8 @@ impl Aggregator {
             .collect();
         hosts_gauge.set(targets.len() as u64);
 
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let debug = Arc::new(DebugPlane::new(cfg.debug_passes, Arc::clone(&store)));
         Aggregator {
             monitor: Monitor::new(cfg.monitor_capacity, rules),
             cfg,
@@ -161,9 +207,12 @@ impl Aggregator {
             series_merged,
             queue_shed,
             sim_bytes,
+            straggler_ns,
+            skew_ratio,
             prev_shed: 0,
             prev_sim_bytes: 0,
-            store: Store::new(StoreConfig::default()),
+            store,
+            debug,
             published: Arc::new(Mutex::new(String::from("# EOF\n"))),
             listener: None,
         }
@@ -184,19 +233,36 @@ impl Aggregator {
         &self.store
     }
 
+    /// The diagnostics plane behind `/debug/*`.
+    pub fn debug(&self) -> &Arc<DebugPlane> {
+        &self.debug
+    }
+
     /// Scrape targets' hostnames, in index order.
     pub fn host_names(&self) -> Vec<String> {
         self.targets.iter().map(|t| t.name.clone()).collect()
     }
 
+    /// Point host slot `index` at a different address. A fault-injection
+    /// lever: tests retarget a slot at a listener that accepts but never
+    /// answers to manufacture a straggler (or at a closed port to kill
+    /// the host) without disturbing the slot's staleness identity.
+    pub fn retarget_host(&mut self, index: usize, addr: SocketAddr) {
+        if let Some(t) = self.targets.get_mut(index) {
+            t.addr = addr;
+        }
+    }
+
     /// Scrape one host over the wire and parse strictly. Any failure —
     /// refused connection, protocol error, unparseable document — makes
-    /// the host stale for this pass.
-    fn scrape_one(&self, target: &Target) -> Result<HostScrape, String> {
+    /// the host stale for this pass. A nonzero `trace_id` (the pass's
+    /// fan-out child id for this slot) rides the Exposition frame so the
+    /// host's own render span joins this pass's trace tree.
+    fn scrape_one(&self, target: &Target, trace_id: u64) -> Result<HostScrape, String> {
         let client = WireClient::connect_with_timeout(target.addr, self.cfg.io_timeout)
             .map_err(|e| format!("connect: {e:?}"))?;
         let text = client
-            .scrape_exposition()
+            .scrape_exposition_traced(trace_id)
             .map_err(|e| format!("scrape: {e:?}"))?;
         let parsed = obs::openmetrics::parse(&text).map_err(|e| format!("parse: {e}"))?;
         Ok(HostScrape {
@@ -209,8 +275,27 @@ impl Aggregator {
     /// worker pool, merge deterministically, update fleet self-metrics,
     /// tick the monitor, ingest into the store, and publish the new
     /// fleet document.
+    ///
+    /// When tracing is on (`debug_passes > 0`) the whole pass runs
+    /// under a `fleet.pass` span with `fleet.pass.fanout` / `.merge` /
+    /// `.ingest` phase children, each host scrape under a
+    /// `fleet.host.scrape` span carrying its fan-out child id, and the
+    /// drained events are stitched into the report's [`FanoutTrace`]
+    /// and recorded on the debug plane.
     pub fn scrape_pass(&mut self, t_ns: u64) -> PassReport {
+        let trace_on = self.cfg.debug_passes > 0;
+        let pass_id = if trace_on {
+            obs::trace::next_trace_id()
+        } else {
+            0
+        };
+        // obs-ok: fleet pass tracing is runtime-gated by debug_passes
+        // (the debug plane needs it in every build), not the obs feature.
+        let pass_span = trace_on.then(|| obs::span!(stitch::PASS_SPAN, pass_id));
+
         // --- fan out ----------------------------------------------------
+        // obs-ok: runtime-gated pass tracing, see pass_span above.
+        let fanout_span = trace_on.then(|| obs::span!(stitch::PASS_FANOUT_SPAN));
         let queue: BoundedQueue<usize> = BoundedQueue::new(self.targets.len().max(1));
         for i in 0..self.targets.len() {
             let _ = queue.try_push(i);
@@ -230,8 +315,24 @@ impl Aggregator {
                         loop {
                             match queue.pop_timeout(Duration::from_millis(10)) {
                                 Pop::Item(i) => {
+                                    let child = stitch::fanout_child_id(pass_id, i as u64);
                                     let started = Instant::now();
-                                    let result = this.scrape_one(&this.targets[i]);
+                                    let result = {
+                                        // obs-ok: runtime-gated pass tracing, see pass_span above.
+                                        let _host = trace_on.then(|| {
+                                            // obs-ok: runtime-gated pass tracing
+                                            obs::span!(stitch::HOST_SCRAPE_SPAN, child)
+                                        });
+                                        this.scrape_one(
+                                            &this.targets[i],
+                                            if trace_on { child } else { 0 },
+                                        )
+                                    };
+                                    if trace_on && result.is_err() {
+                                        // obs-ok: runtime-gated pass tracing,
+                                        // see pass_span above.
+                                        obs::instant!(stitch::HOST_FAIL_INSTANT, child);
+                                    }
                                     let lat = started.elapsed().as_nanos().min(u64::MAX as u128);
                                     done.push((i, result, lat as u64));
                                 }
@@ -251,6 +352,7 @@ impl Aggregator {
                 }
             }
         });
+        drop(fanout_span);
         // Record latencies in host index order: the histogram is
         // order-insensitive, but deterministic iteration costs nothing.
         latencies.sort_unstable_by_key(|&(i, _)| i);
@@ -279,6 +381,8 @@ impl Aggregator {
             .collect();
 
         // --- merge ------------------------------------------------------
+        // obs-ok: runtime-gated pass tracing, see pass_span above.
+        let merge_span = trace_on.then(|| obs::span!(stitch::PASS_MERGE_SPAN));
         let merged: MergeOutcome = merge_parallel(&scrapes, workers);
         let host_text = render(&merged.samples, None);
         self.series_merged.set(merged.samples.len() as u64);
@@ -305,12 +409,11 @@ impl Aggregator {
         self.sim_bytes
             .add(sim_now.saturating_sub(self.prev_sim_bytes));
         self.prev_sim_bytes = self.prev_sim_bytes.max(sim_now);
-
-        // --- monitor ----------------------------------------------------
-        let snap = obs::Snapshot::take(&self.registry, t_ns);
-        let alerts = self.monitor.tick(t_ns, &snap.scalars);
+        drop(merge_span);
 
         // --- store ingest -----------------------------------------------
+        // obs-ok: runtime-gated pass tracing, see pass_span above.
+        let ingest_span = trace_on.then(|| obs::span!(stitch::PASS_INGEST_SPAN));
         let mut samples_ingested = 0u64;
         for s in &merged.samples {
             let Value::Int(v) = s.value else {
@@ -328,6 +431,62 @@ impl Aggregator {
                 samples_ingested += 1;
             }
         }
+        drop(ingest_span);
+
+        // --- stitch -----------------------------------------------------
+        // Close the pass span before draining so its record is in the
+        // ring; everything below is bookkeeping outside the pass wall.
+        drop(pass_span);
+        let (trace, events) = if trace_on {
+            let n_hosts = self.targets.len();
+            let children: std::collections::HashSet<u64> = (0..n_hosts)
+                .map(|i| stitch::fanout_child_id(pass_id, i as u64))
+                .collect();
+            // Keep only this pass's events: the pass span and its child
+            // scrapes (matched by id), and phase spans from the pass
+            // thread inside the pass window. Anything else in the rings
+            // — previous-pass leftovers, unrelated spans from tests
+            // sharing the process — is dropped.
+            let drained = obs::trace::drain();
+            let pass_ev = drained
+                .iter()
+                .find(|e| e.label == stitch::PASS_SPAN && e.arg == pass_id)
+                .copied();
+            let in_pass = |e: &obs::trace::SpanEvent| {
+                pass_ev.is_some_and(|p| {
+                    e.tid == p.tid
+                        && e.start_ns >= p.start_ns
+                        && e.start_ns.saturating_add(e.dur_ns) <= p.start_ns + p.dur_ns
+                })
+            };
+            let mut events: Vec<_> = drained
+                .into_iter()
+                .filter(|e| {
+                    (e.label == stitch::PASS_SPAN && e.arg == pass_id)
+                        || children.contains(&e.arg)
+                        || (matches!(
+                            e.label,
+                            stitch::PASS_FANOUT_SPAN
+                                | stitch::PASS_MERGE_SPAN
+                                | stitch::PASS_INGEST_SPAN
+                        ) && in_pass(e))
+                })
+                .collect();
+            events.sort_unstable_by_key(|e| (e.start_ns, e.tid, e.label));
+            let trace = FanoutTrace::stitch(&events, pass_id, n_hosts);
+            if let Some(t) = &trace {
+                self.straggler_ns.record(t.straggler_ns());
+                self.skew_ratio.set(t.skew_ratio_permille());
+            }
+            (trace, events)
+        } else {
+            (None, Vec::new())
+        };
+
+        // --- monitor ----------------------------------------------------
+        let snap = obs::Snapshot::take(&self.registry, t_ns);
+        let alerts = self.monitor.tick(t_ns, &snap.scalars);
+
         // Fleet self-metrics ride along under host="fleet".
         let _ = self.store.ingest_snapshot("", &[("host", "fleet")], &snap);
 
@@ -348,15 +507,29 @@ impl Aggregator {
             *published = doc;
         }
 
+        let scraped = scrapes.iter().filter(|s| s.is_some()).count();
+        self.debug.record_pass(PassRecord {
+            pass_id,
+            t_ns,
+            scraped,
+            stale: stale.len(),
+            merged_series: merged.samples.len(),
+            samples_ingested,
+            trace: trace.clone(),
+            events,
+        });
+
         PassReport {
             t_ns,
-            scraped: scrapes.iter().filter(|s| s.is_some()).count(),
+            scraped,
             stale,
             merged_series: merged.samples.len(),
             kind_conflicts: merged.kind_conflicts,
             alerts,
             host_text,
             samples_ingested,
+            pass_id,
+            trace,
         }
     }
 
@@ -368,7 +541,8 @@ impl Aggregator {
             .clone()
     }
 
-    /// Expose the fleet document on one HTTP `/metrics` endpoint.
+    /// Expose the fleet document on `/metrics` (and `/`) plus the
+    /// diagnostics plane on `/debug/*`, all from one HTTP listener.
     /// Returns the bound address; idempotent per aggregator (a second
     /// call replaces the listener).
     pub fn serve_http<A: std::net::ToSocketAddrs>(
@@ -376,9 +550,16 @@ impl Aggregator {
         addr: A,
     ) -> Result<SocketAddr, FleetError> {
         let published = Arc::clone(&self.published);
-        let provider: ExpositionProvider =
-            Arc::new(move || published.lock().unwrap_or_else(|e| e.into_inner()).clone());
-        let listener = ScrapeListener::bind_provider(addr, provider, 2, 16)?;
+        let debug = Arc::clone(&self.debug);
+        let handler: RequestHandler = Arc::new(move |target: &str| {
+            let path = target.split('?').next().unwrap_or(target);
+            if path == "/metrics" || path == "/" {
+                let doc = published.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                return Some(HttpResponse::ok(CONTENT_TYPE, doc));
+            }
+            debug.handle(target)
+        });
+        let listener = ScrapeListener::bind_handler(addr, handler, 2, 16)?;
         let bound = listener.local_addr();
         self.listener = Some(listener);
         Ok(bound)

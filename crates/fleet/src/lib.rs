@@ -27,15 +27,25 @@
 //!   [`obs::Monitor`] — any host shedding, aggregate simulated
 //!   traffic rate, per-host scrape staleness.
 //!
+//! * Every pass is traced end to end (DESIGN.md §16): the aggregator
+//!   mints a pass-level trace id, each host scrape carries a fan-out
+//!   child id over the wire (protocol v3), and the stitched
+//!   [`obs::stitch::FanoutTrace`] — per-host RTT decomposition,
+//!   straggler attribution, exact phase conservation — is served live
+//!   from the bounded [`DebugPlane`] on `/debug/trace`, `/debug/flame`,
+//!   `/debug/passes` and `/debug/series`.
+//!
 //! The thread-per-client reactor refactor needed to serve ≥10k scrape
 //! clients stays a named follow-up (ROADMAP item 1); this tier fixes
 //! the federation *semantics* that refactor will scale.
 
 mod aggregator;
+pub mod debug;
 mod host;
 mod merge;
 
 pub use aggregator::{Aggregator, AggregatorConfig, PassReport};
+pub use debug::{DebugPlane, PassRecord, DEFAULT_DEBUG_PASSES};
 pub use host::{host_name, host_seed, Fleet, SimHost};
 pub use merge::{merge_parallel, merge_reference, relabel, HostScrape, MergeOutcome};
 

@@ -10,10 +10,22 @@
 use crate::trace::{Kind, SpanEvent};
 
 /// Render events (from [`crate::trace::drain`]) as a Chrome trace
-/// document. Timestamps and durations are microseconds with nanosecond
-/// precision; the tracer tid becomes the trace tid so each recording
-/// thread gets its own lane.
+/// document with every event in process lane 1. Timestamps and
+/// durations are microseconds with nanosecond precision; the tracer
+/// tid becomes the trace tid so each recording thread gets its own
+/// lane.
 pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    chrome_trace_json_with_pids(events, &|_| 1)
+}
+
+/// Like [`chrome_trace_json`], but `pid_of` assigns each event a
+/// process lane. A fleet trace maps each simulated host's events to a
+/// distinct pid so the viewer renders one lane per host (the
+/// aggregator conventionally keeps pid 1).
+pub fn chrome_trace_json_with_pids(
+    events: &[SpanEvent],
+    pid_of: &dyn Fn(&SpanEvent) -> u64,
+) -> String {
     let mut out = String::with_capacity(events.len() * 110 + 32);
     out.push_str("{\"traceEvents\":[");
     for (i, e) in events.iter().enumerate() {
@@ -27,7 +39,9 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             Kind::Span => out.push('X'),
             Kind::Instant => out.push('i'),
         }
-        out.push_str("\",\"pid\":1,\"tid\":");
+        out.push_str("\",\"pid\":");
+        out.push_str(&pid_of(e).to_string());
+        out.push_str(",\"tid\":");
         out.push_str(&e.tid.to_string());
         out.push_str(",\"ts\":");
         push_us(e.start_ns, &mut out);
@@ -78,6 +92,8 @@ pub struct ParsedEvent {
     pub name: String,
     /// Phase: `'X'` (complete) or `'i'` (instant).
     pub ph: char,
+    /// Process lane (one per host in a fleet trace; 1 otherwise).
+    pub pid: u64,
     /// Thread lane.
     pub tid: u64,
     /// Start, microseconds.
@@ -90,8 +106,8 @@ pub struct ParsedEvent {
 
 /// Parse and schema-check a Chrome trace document: the top level must
 /// hold a `traceEvents` array and every event must carry `name`, a
-/// known `ph`, `pid`, `tid`, and `ts`; complete events must carry
-/// `dur`. Rejects anything malformed with a description.
+/// known `ph`, a numeric `pid`, `tid`, and `ts`; complete events must
+/// carry `dur`. Rejects anything malformed with a description.
 pub fn parse_chrome_trace(doc: &str) -> Result<Vec<ParsedEvent>, String> {
     let json = parse_json(doc)?;
     let top = match json {
@@ -121,9 +137,10 @@ pub fn parse_chrome_trace(doc: &str) -> Result<Vec<ParsedEvent>, String> {
             Some(Json::Str(s)) => return Err(format!("event {i}: unknown ph {s:?}")),
             _ => return Err(format!("event {i}: missing ph")),
         };
-        if get("pid").is_none() {
-            return Err(format!("event {i}: missing pid"));
-        }
+        let pid = match get("pid") {
+            Some(Json::Num(n)) if *n >= 0.0 => *n as u64,
+            _ => return Err(format!("event {i}: missing numeric pid")),
+        };
         let tid = match get("tid") {
             Some(Json::Num(n)) if *n >= 0.0 => *n as u64,
             _ => return Err(format!("event {i}: missing numeric tid")),
@@ -150,6 +167,7 @@ pub fn parse_chrome_trace(doc: &str) -> Result<Vec<ParsedEvent>, String> {
         out.push(ParsedEvent {
             name,
             ph,
+            pid,
             tid,
             ts_us,
             dur_us,
@@ -399,7 +417,31 @@ mod tests {
                 Kind::Instant => assert_eq!(p.dur_us, None),
             }
             assert_eq!(p.arg, Some(e.arg));
+            assert_eq!(p.pid, 1, "default exporter keeps everything in pid 1");
         }
+    }
+
+    /// Fleet lanes: a pid-assigning exporter must round-trip every
+    /// event's pid through the strict parser, one lane per host.
+    #[test]
+    fn per_host_pids_round_trip() {
+        let events = sample_events();
+        // Host lane = arg-derived (as the fleet debug plane does).
+        let pid_of = |e: &SpanEvent| if e.arg >= 500 { 7 } else { e.tid + 1 };
+        let doc = chrome_trace_json_with_pids(&events, &pid_of);
+        let parsed = parse_chrome_trace(&doc).expect("valid trace document");
+        assert_eq!(parsed.len(), events.len());
+        for (p, e) in parsed.iter().zip(events.iter()) {
+            assert_eq!(p.pid, pid_of(e), "event {}", e.label);
+        }
+        let distinct: std::collections::BTreeSet<u64> = parsed.iter().map(|p| p.pid).collect();
+        assert!(distinct.len() > 1, "hosts must land in distinct lanes");
+    }
+
+    #[test]
+    fn parser_requires_numeric_pid() {
+        let doc = "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"i\",\"pid\":\"x\",\"tid\":1,\"ts\":0,\"s\":\"t\"}]}";
+        assert!(parse_chrome_trace(doc).unwrap_err().contains("pid"));
     }
 
     #[test]

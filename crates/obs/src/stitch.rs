@@ -201,6 +201,271 @@ pub fn mean_critical_path(events: &[SpanEvent]) -> Option<CriticalPath> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Fan-out (fleet scrape pass) stitching
+// ---------------------------------------------------------------------------
+
+/// Label of the aggregator span wrapping one whole scrape pass; its
+/// `arg` is the pass-level trace id minted by the aggregator.
+pub const PASS_SPAN: &str = "fleet.pass";
+
+/// Aggregator phase span: fan-out over the worker pool until the last
+/// host scrape joins. Same thread as [`PASS_SPAN`], matched by
+/// containment.
+pub const PASS_FANOUT_SPAN: &str = "fleet.pass.fanout";
+
+/// Aggregator phase span: merge + render of the federated document.
+pub const PASS_MERGE_SPAN: &str = "fleet.pass.merge";
+
+/// Aggregator phase span: store ingest of the merged samples.
+pub const PASS_INGEST_SPAN: &str = "fleet.pass.ingest";
+
+/// Per-host span on the scraping worker, wrapping one host's connect +
+/// scrape + parse; its `arg` is the child id from [`fanout_child_id`].
+pub const HOST_SCRAPE_SPAN: &str = "fleet.host.scrape";
+
+/// Instant event recorded when a host scrape fails; `arg` is the child
+/// id, so the failure is attributable to exactly one host slot.
+pub const HOST_FAIL_INSTANT: &str = "fleet.host.fail";
+
+/// Client-side span wrapping the Exposition round trip of one traced
+/// scrape (protocol v3); its `arg` is the child id riding the PDU.
+pub const CLIENT_SCRAPE_SPAN: &str = "wire.client.scrape";
+
+/// Server-side span wrapping the exposition render of one traced
+/// scrape; its `arg` echoes the child id from the PDU.
+pub const SERVER_SCRAPE_SPAN: &str = "wire.server.scrape";
+
+/// Component names of one host chain's decomposition, in attribution
+/// order. `queue` is time spent waiting for a fan-out worker,
+/// `server.render` is the host PMCD's exposition render (matched by
+/// arg, so it survives cross-host clock skew), `codec` is client-side
+/// PDU encode/decode, and `wire` absorbs the remainder (connect,
+/// syscalls, scheduling).
+pub const FANOUT_COMPONENTS: [&str; 4] = ["queue", "server.render", "codec", "wire"];
+
+/// Phase names of the pass-level decomposition, in attribution order;
+/// `other` absorbs classification, counter folding and publish time.
+pub const PASS_PHASES: [&str; 4] = ["fanout", "merge", "ingest", "other"];
+
+/// Child trace id for host slot `host_index` of pass `pass_id`. The low
+/// 17 bits hold `host_index + 1` (so a child id is never 0 and never
+/// collides with its own pass id); fleets beyond 65536 hosts alias
+/// slots, which degrades attribution but never stitching safety.
+pub fn fanout_child_id(pass_id: u64, host_index: u64) -> u64 {
+    pass_id.wrapping_shl(17) | ((host_index & 0xFFFF) + 1)
+}
+
+/// One host's share of a scrape pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostShare {
+    /// Slot index in the aggregator's target list.
+    pub host_index: u64,
+    /// Child trace id ([`fanout_child_id`]) carried on the wire.
+    pub trace_id: u64,
+    /// False when a [`HOST_FAIL_INSTANT`] names this slot.
+    pub ok: bool,
+    /// Queue wait + scrape duration: this host's contribution to the
+    /// fan-out critical path, on the aggregator's clock.
+    pub chain_ns: u64,
+    /// `(component, nanoseconds)` in [`FANOUT_COMPONENTS`] order; sums
+    /// to `chain_ns` exactly.
+    pub components: Vec<(&'static str, u64)>,
+}
+
+impl HostShare {
+    /// Nanoseconds attributed to `name` (0 for unknown components).
+    pub fn component(&self, name: &str) -> u64 {
+        self.components
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// One scrape pass stitched into a tree: the aggregator's pass span at
+/// the root, its phase spans below, and one decomposed chain per host.
+///
+/// Conservation holds exactly, by the same budget clamp as
+/// [`critical_path`]: the phase shares sum to `wall_ns`, and every
+/// host's components sum to its `chain_ns`. Attribution can be wrong in
+/// pathological traces; time is never invented or lost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FanoutTrace {
+    /// Pass-level trace id (the `arg` of [`PASS_SPAN`]).
+    pub pass_id: u64,
+    /// Measured pass wall time: the duration of [`PASS_SPAN`].
+    pub wall_ns: u64,
+    /// `(phase, nanoseconds)` in [`PASS_PHASES`] order; sums to
+    /// `wall_ns` exactly.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Per-host chains, in host-slot order (slots with no span at all —
+    /// e.g. a pass raced with ring eviction — are simply absent).
+    pub hosts: Vec<HostShare>,
+    /// Slot index of the straggler: the first host attaining the
+    /// maximum `chain_ns`. `None` for a hostless pass.
+    pub straggler: Option<u64>,
+}
+
+impl FanoutTrace {
+    /// Stitch pass `pass_id` over a merged event list from the
+    /// aggregator's and workers' rings. Returns `None` when the pass
+    /// span itself is missing.
+    pub fn stitch(events: &[SpanEvent], pass_id: u64, n_hosts: usize) -> Option<FanoutTrace> {
+        let pass = span_with_arg(events, PASS_SPAN, pass_id)?;
+        let phase_span = |label: &str| {
+            events.iter().find(|e| {
+                e.kind == Kind::Span && e.label == label && e.tid == pass.tid && contains(pass, e)
+            })
+        };
+        let fanout = phase_span(PASS_FANOUT_SPAN);
+        let merge = phase_span(PASS_MERGE_SPAN);
+        let ingest = phase_span(PASS_INGEST_SPAN);
+
+        let mut hosts = Vec::new();
+        for i in 0..n_hosts as u64 {
+            let child = fanout_child_id(pass_id, i);
+            let Some(host) = span_with_arg(events, HOST_SCRAPE_SPAN, child) else {
+                continue;
+            };
+            let failed = events
+                .iter()
+                .any(|e| e.kind == Kind::Instant && e.label == HOST_FAIL_INSTANT && e.arg == child);
+            // Queue wait is measured aggregator-side (fan-out start to
+            // worker pickup), so it is skew-free; the scrape itself is
+            // decomposed against the worker-measured span duration.
+            let queue = fanout.map_or(0, |f| host.start_ns.saturating_sub(f.start_ns));
+            let mut budget = host.dur_ns;
+            let mut take = |want: u64| {
+                let got = want.min(budget);
+                budget -= got;
+                got
+            };
+            let server =
+                take(span_with_arg(events, SERVER_SCRAPE_SPAN, child).map_or(0, |s| s.dur_ns));
+            let codec = take(codec_ns(events, host.tid, host));
+            let wire = budget;
+            hosts.push(HostShare {
+                host_index: i,
+                trace_id: child,
+                ok: !failed,
+                chain_ns: queue + host.dur_ns,
+                components: vec![
+                    (FANOUT_COMPONENTS[0], queue),
+                    (FANOUT_COMPONENTS[1], server),
+                    (FANOUT_COMPONENTS[2], codec),
+                    (FANOUT_COMPONENTS[3], wire),
+                ],
+            });
+        }
+
+        let mut budget = pass.dur_ns;
+        let mut take = |want: u64| {
+            let got = want.min(budget);
+            budget -= got;
+            got
+        };
+        let fanout_ns = take(fanout.map_or(0, |e| e.dur_ns));
+        let merge_ns = take(merge.map_or(0, |e| e.dur_ns));
+        let ingest_ns = take(ingest.map_or(0, |e| e.dur_ns));
+        let other_ns = budget;
+
+        let mut straggler: Option<(u64, u64)> = None;
+        for h in &hosts {
+            if straggler.is_none_or(|(_, best)| h.chain_ns > best) {
+                straggler = Some((h.host_index, h.chain_ns));
+            }
+        }
+
+        Some(FanoutTrace {
+            pass_id,
+            wall_ns: pass.dur_ns,
+            phases: vec![
+                (PASS_PHASES[0], fanout_ns),
+                (PASS_PHASES[1], merge_ns),
+                (PASS_PHASES[2], ingest_ns),
+                (PASS_PHASES[3], other_ns),
+            ],
+            hosts,
+            straggler: straggler.map(|(i, _)| i),
+        })
+    }
+
+    /// Nanoseconds attributed to phase `name` (0 for unknown phases).
+    pub fn phase(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sum of all phase shares — equal to `wall_ns` by construction.
+    pub fn total(&self) -> u64 {
+        self.phases.iter().map(|(_, v)| v).sum()
+    }
+
+    /// The straggler's [`HostShare`], when the pass had any hosts.
+    pub fn straggler_share(&self) -> Option<&HostShare> {
+        let idx = self.straggler?;
+        self.hosts.iter().find(|h| h.host_index == idx)
+    }
+
+    /// The straggler's chain time (0 for a hostless pass).
+    pub fn straggler_ns(&self) -> u64 {
+        self.straggler_share().map_or(0, |h| h.chain_ns)
+    }
+
+    /// Straggler skew as permille of the mean host chain:
+    /// `max_chain * 1000 / mean_chain`, computed as
+    /// `max * 1000 * n / sum` to stay in integers. 1000 means a
+    /// perfectly balanced fan-out; 0 means no (or all-zero) chains.
+    pub fn skew_ratio_permille(&self) -> u64 {
+        let sum: u64 = self.hosts.iter().map(|h| h.chain_ns).sum();
+        if sum == 0 {
+            return 0;
+        }
+        let n = self.hosts.len() as u64;
+        self.straggler_ns().saturating_mul(1000).saturating_mul(n) / sum
+    }
+
+    /// Canonical plain-text rendering. Deliberately free of thread ids
+    /// and clocks, so the same logical pass renders byte-identically
+    /// regardless of how many workers executed the fan-out.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "pass {}: wall {} ns = fanout {} + merge {} + ingest {} + other {}\n",
+            self.pass_id,
+            self.wall_ns,
+            self.phase(PASS_PHASES[0]),
+            self.phase(PASS_PHASES[1]),
+            self.phase(PASS_PHASES[2]),
+            self.phase(PASS_PHASES[3]),
+        );
+        for h in &self.hosts {
+            out.push_str(&format!(
+                "  host {:04}{}: chain {} ns = queue {} + server.render {} + codec {} + wire {}\n",
+                h.host_index,
+                if h.ok { "" } else { " FAILED" },
+                h.chain_ns,
+                h.component(FANOUT_COMPONENTS[0]),
+                h.component(FANOUT_COMPONENTS[1]),
+                h.component(FANOUT_COMPONENTS[2]),
+                h.component(FANOUT_COMPONENTS[3]),
+            ));
+        }
+        match self.straggler_share() {
+            Some(h) => out.push_str(&format!(
+                "straggler: host {:04}, chain {} ns, skew {}/1000\n",
+                h.host_index,
+                h.chain_ns,
+                self.skew_ratio_permille()
+            )),
+            None => out.push_str("straggler: none\n"),
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +601,148 @@ mod tests {
         assert_eq!(mean.total(), mean.rtt_ns);
         assert_eq!(mean.component("server.fetch"), 300);
         assert!(mean_critical_path(&[]).is_none());
+    }
+
+    // --- fan-out stitching ---------------------------------------------
+
+    /// A synthetic 3-host pass: pass span on tid 1, hosts on worker
+    /// tids, server render spans on per-host tids (different clocks in
+    /// the skew tests).
+    fn fanout_pass(pass_id: u64, base: u64) -> Vec<SpanEvent> {
+        let child = |i| fanout_child_id(pass_id, i);
+        vec![
+            span(PASS_SPAN, 1, base, 10_000, pass_id),
+            span(PASS_FANOUT_SPAN, 1, base, 6_000, 0),
+            // host 0: starts immediately (queue 0), 4000 ns scrape
+            span(HOST_SCRAPE_SPAN, 2, base, 4_000, child(0)),
+            span(SERVER_SCRAPE_SPAN, 10, base + 50_000, 1_500, child(0)),
+            span("wire.pdu.encode", 2, base + 10, 100, 0),
+            span("wire.pdu.decode", 2, base + 3_800, 150, 0),
+            // host 1: queued 1000 ns behind host 0 on tid 3
+            span(HOST_SCRAPE_SPAN, 3, base + 1_000, 5_000, child(1)),
+            span(SERVER_SCRAPE_SPAN, 11, base + 90_000, 2_000, child(1)),
+            // host 2: failed scrape, short span, fail instant
+            span(HOST_SCRAPE_SPAN, 2, base + 4_200, 300, child(2)),
+            SpanEvent {
+                label: HOST_FAIL_INSTANT,
+                tid: 2,
+                start_ns: base + 4_500,
+                dur_ns: 0,
+                arg: child(2),
+                kind: Kind::Instant,
+            },
+            span(PASS_MERGE_SPAN, 1, base + 6_100, 2_500, 0),
+            span(PASS_INGEST_SPAN, 1, base + 8_700, 900, 0),
+        ]
+    }
+
+    #[test]
+    fn fanout_phases_sum_to_wall_exactly() {
+        let t = FanoutTrace::stitch(&fanout_pass(5, 1_000), 5, 3).unwrap();
+        assert_eq!(t.wall_ns, 10_000);
+        assert_eq!(t.total(), t.wall_ns);
+        assert_eq!(t.phase("fanout"), 6_000);
+        assert_eq!(t.phase("merge"), 2_500);
+        assert_eq!(t.phase("ingest"), 900);
+        assert_eq!(t.phase("other"), 600);
+    }
+
+    #[test]
+    fn host_components_sum_to_chain_exactly() {
+        let t = FanoutTrace::stitch(&fanout_pass(5, 1_000), 5, 3).unwrap();
+        assert_eq!(t.hosts.len(), 3);
+        for h in &t.hosts {
+            let sum: u64 = h.components.iter().map(|(_, v)| v).sum();
+            assert_eq!(sum, h.chain_ns, "host {}", h.host_index);
+        }
+        let h0 = &t.hosts[0];
+        assert_eq!(h0.chain_ns, 4_000);
+        assert_eq!(h0.component("queue"), 0);
+        assert_eq!(h0.component("server.render"), 1_500);
+        assert_eq!(h0.component("codec"), 250);
+        assert_eq!(h0.component("wire"), 2_250);
+        let h1 = &t.hosts[1];
+        assert_eq!(h1.component("queue"), 1_000);
+        assert_eq!(h1.chain_ns, 6_000);
+    }
+
+    #[test]
+    fn straggler_and_failure_attribution() {
+        let t = FanoutTrace::stitch(&fanout_pass(5, 1_000), 5, 3).unwrap();
+        assert_eq!(t.straggler, Some(1));
+        assert_eq!(t.straggler_ns(), 6_000);
+        assert!(t.hosts[0].ok && t.hosts[1].ok);
+        assert!(!t.hosts[2].ok, "fail instant must mark exactly host 2");
+        // mean chain = (4000 + 6000 + 4500) / 3; skew = 6000*3000/14500
+        assert_eq!(t.skew_ratio_permille(), 6_000 * 3_000 / 14_500);
+    }
+
+    /// Per-host server clocks skewed by ±1h: render spans are matched
+    /// by child id and charged by their own duration, so the
+    /// decomposition and conservation are unchanged.
+    #[test]
+    fn fanout_survives_hostile_per_host_clock_skew() {
+        const HOUR_NS: u64 = 3_600_000_000_000;
+        let base = 10_000_000_000_000;
+        let reference = FanoutTrace::stitch(&fanout_pass(7, base), 7, 3).unwrap();
+        let mut events = fanout_pass(7, base);
+        for e in events.iter_mut() {
+            match e.tid {
+                10 => e.start_ns += HOUR_NS,
+                11 => e.start_ns -= HOUR_NS,
+                _ => {}
+            }
+        }
+        let skewed = FanoutTrace::stitch(&events, 7, 3).unwrap();
+        assert_eq!(skewed, reference);
+        assert_eq!(skewed.summary(), reference.summary());
+    }
+
+    #[test]
+    fn fanout_trace_is_worker_count_independent() {
+        // Reassigning host spans to different worker tids (as a wider
+        // pool would) must not change the stitched trace's summary.
+        let a = FanoutTrace::stitch(&fanout_pass(9, 0), 9, 3).unwrap();
+        let mut events = fanout_pass(9, 0);
+        for e in events.iter_mut() {
+            if e.tid == 2 || e.tid == 3 {
+                e.tid += 100; // same 1:1 mapping, new pool
+            }
+        }
+        let b = FanoutTrace::stitch(&events, 9, 3).unwrap();
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn missing_pieces_degrade_but_conserve() {
+        // No phase spans, no server spans: everything lands in the
+        // pass's `other` share and the hosts' `wire` share.
+        let mut events = fanout_pass(3, 500);
+        events.retain(|e| {
+            e.label != PASS_FANOUT_SPAN
+                && e.label != PASS_MERGE_SPAN
+                && e.label != PASS_INGEST_SPAN
+                && e.label != SERVER_SCRAPE_SPAN
+        });
+        let t = FanoutTrace::stitch(&events, 3, 3).unwrap();
+        assert_eq!(t.total(), t.wall_ns);
+        assert_eq!(t.phase("other"), t.wall_ns);
+        for h in &t.hosts {
+            assert_eq!(h.component("queue"), 0, "no fanout span -> no queue");
+            let sum: u64 = h.components.iter().map(|(_, v)| v).sum();
+            assert_eq!(sum, h.chain_ns);
+        }
+        // An absent pass span cannot be stitched at all.
+        assert!(FanoutTrace::stitch(&events, 4, 3).is_none());
+    }
+
+    #[test]
+    fn child_ids_are_nonzero_and_slot_unique() {
+        let ids: Vec<u64> = (0..64).map(|i| fanout_child_id(42, i)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_ne!(*id, 0);
+            assert_ne!(*id, 42);
+            assert_eq!(ids.iter().filter(|x| *x == id).count(), 1, "slot {i}");
+        }
     }
 }

@@ -1,18 +1,21 @@
 //! The zero-allocation span/event tracer.
 //!
-//! Every thread that records gets one fixed-capacity ring of `Copy`
-//! records (allocated once, on the thread's first record — that is the
-//! only allocation the tracer ever performs). Recording is a couple of
-//! `rdtsc` reads plus an SPSC ring push: no locks, no heap, no
-//! formatting. A full ring drops new records and counts the drops
-//! rather than blocking or reallocating.
+//! Every thread that records leases one fixed-capacity ring of `Copy`
+//! records on its first record and returns it to a free pool at thread
+//! exit, so short-lived threads (scoped workers, request handlers)
+//! recycle page-warm rings and the ring count is bounded by the peak
+//! number of *concurrent* recorders — a ring is allocated only when the
+//! pool is empty, and that is the only allocation the tracer ever
+//! performs. Recording is a couple of `rdtsc` reads plus an SPSC ring
+//! push: no locks, no heap, no formatting. A full ring drops new
+//! records and counts the drops rather than blocking or reallocating.
 //!
 //! Draining ([`drain`]) walks every registered ring under a registry
 //! lock (drains are serialized; recording proceeds concurrently),
 //! converts raw ticks to nanoseconds via [`crate::clock::calibration`],
 //! and returns time-sorted [`SpanEvent`]s ready for the exporters.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -75,6 +78,10 @@ struct Ring {
     head: AtomicU64,
     /// Records consumed by the drainer.
     tail: AtomicU64,
+    /// Producer's cached copy of `tail`, refreshed only when the ring
+    /// looks full — the common-case push does no acquire load. Touched
+    /// only by the owning thread.
+    cached_tail: Cell<u64>,
     /// Records rejected because the ring was full.
     dropped: AtomicU64,
 }
@@ -82,6 +89,7 @@ struct Ring {
 // SAFETY: slot access is disciplined — the producer writes only slots in
 // [tail, tail+CAPACITY) before releasing `head`; the drainer reads only
 // slots in [tail, head) after acquiring `head`. The indices never alias.
+// `cached_tail` is read and written only by the producer thread.
 unsafe impl Sync for Ring {}
 unsafe impl Send for Ring {}
 
@@ -92,6 +100,7 @@ impl Ring {
             slots: Box::new([const { UnsafeCell::new(EMPTY_RECORD) }; RING_CAPACITY]),
             head: AtomicU64::new(0),
             tail: AtomicU64::new(0),
+            cached_tail: Cell::new(0),
             dropped: AtomicU64::new(0),
         }
     }
@@ -101,7 +110,13 @@ impl Ring {
     fn push(&self, rec: Record) {
         // relaxed-ok: head is written only by this thread (SPSC).
         let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Acquire);
+        let mut tail = self.cached_tail.get();
+        if head.wrapping_sub(tail) >= RING_CAPACITY as u64 {
+            // Looks full against the cached tail: refresh from the real
+            // consumer index before concluding the ring is actually full.
+            tail = self.tail.load(Ordering::Acquire);
+            self.cached_tail.set(tail);
+        }
         if head.wrapping_sub(tail) >= RING_CAPACITY as u64 {
             // Full: drop-new keeps the oldest records, which preserves
             // the enclosing-span structure exporters reconstruct.
@@ -135,10 +150,18 @@ impl Ring {
     }
 }
 
-// lock-rank: obs.2 — ring-registration list; a leaf, held only for a
+// lock-rank: obs.2 — free-ring pool; held only for a Vec push/pop.
+// Ranked below the ring registry: a pool miss registers a fresh ring.
+fn ring_pool() -> &'static Mutex<Vec<Arc<Ring>>> {
+    // lock-rank: obs.2 — same lock as the fn above returns.
+    static POOL: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+// lock-rank: obs.3 — ring-registration list; a leaf, held only for a
 // Vec push (registration) or clone (drain snapshot).
 fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
-    // lock-rank: obs.2 — same lock as the fn above returns.
+    // lock-rank: obs.3 — same lock as the fn above returns.
     static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
     RINGS.get_or_init(|| Mutex::new(Vec::new()))
 }
@@ -146,8 +169,47 @@ fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    static TL_RING: Arc<Ring> = {
-        clock::ensure_epoch();
+    /// Cached raw pointer to this thread's leased ring: null until the
+    /// thread's first record. Const-init and `Drop`-free so every access
+    /// compiles to a bare TLS load with no lazy-init or destructor
+    /// bookkeeping on the hot path. The pointee is owned by the registry,
+    /// which never removes rings, so the pointer stays valid for the
+    /// process lifetime.
+    static TL_RING: Cell<*const Ring> = const { Cell::new(std::ptr::null()) };
+
+    /// The lease that backs `TL_RING`: keeps the pool informed. Its
+    /// destructor runs at thread exit and returns the ring to the free
+    /// pool, so short-lived threads (per-pass scoped workers, request
+    /// handlers) recycle page-warm rings instead of growing the registry
+    /// by 384 KiB per thread forever.
+    static TL_LEASE: Cell<Option<RingLease>> = const { Cell::new(None) };
+}
+
+/// Exclusive claim on one ring: exactly one live lease per ring, so the
+/// SPSC producer role transfers cleanly from an exited thread to the
+/// next leaser (the pool mutex orders the handoff).
+struct RingLease(Arc<Ring>);
+
+impl Drop for RingLease {
+    fn drop(&mut self) {
+        // The cell is const-init without a destructor, so it is still
+        // accessible while other TLS destructors (this one) run.
+        let _ = TL_RING.try_with(|cell| cell.set(std::ptr::null()));
+        ring_pool()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&self.0));
+    }
+}
+
+/// Lease a ring for the current thread and cache its pointer: reuse a
+/// pooled ring from an exited thread if one is free, otherwise allocate
+/// and register a new one.
+#[cold]
+fn register_ring(cell: &Cell<*const Ring>) -> *const Ring {
+    clock::ensure_epoch();
+    let pooled = ring_pool().lock().unwrap_or_else(|e| e.into_inner()).pop();
+    let ring = pooled.unwrap_or_else(|| {
         // relaxed-ok: unique-id handout, no ordering with other data.
         let ring = Arc::new(Ring::new(NEXT_TID.fetch_add(1, Ordering::Relaxed)));
         registry()
@@ -155,14 +217,30 @@ thread_local! {
             .unwrap_or_else(|e| e.into_inner())
             .push(Arc::clone(&ring));
         ring
-    };
+    });
+    let ptr = Arc::as_ptr(&ring);
+    cell.set(ptr);
+    // Install the lease last; if TLS destruction is already past this
+    // slot the lease drops immediately, returning the ring and clearing
+    // the cell again — records that late are simply dropped.
+    let _ = TL_LEASE.try_with(|lease| lease.set(Some(RingLease(ring))));
+    ptr
 }
 
-/// Record through the thread-local ring. `try_with` so records arriving
-/// during thread teardown are silently dropped instead of aborting.
+/// Record through the thread-local ring. `try_with` so a record arriving
+/// after the TLS slot is gone is silently dropped instead of aborting.
 #[inline]
 fn record(rec: Record) {
-    let _ = TL_RING.try_with(|ring| ring.push(rec));
+    let _ = TL_RING.try_with(|cell| {
+        let mut ring = cell.get();
+        if ring.is_null() {
+            ring = register_ring(cell);
+        }
+        // SAFETY: the registry holds the owning `Arc` and never removes
+        // rings, so a cached pointer is valid for the process lifetime;
+        // the lease guarantees this thread is the only producer.
+        unsafe { (*ring).push(rec) }
+    });
 }
 
 /// RAII span: captures the start timestamp on construction and pushes
@@ -342,26 +420,56 @@ mod tests {
     fn cross_thread_records_are_all_drained() {
         let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _ = drain();
-        let threads: Vec<_> = (0..4)
-            .map(|t| {
-                std::thread::spawn(move || {
+        // Hold every thread alive until all have recorded: a ring is
+        // pooled for reuse only at thread exit, so concurrently-live
+        // recorders are guaranteed distinct tid lanes.
+        let gate = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let gate = &gate;
+                scope.spawn(move || {
                     for i in 0..100u64 {
                         instant_event("test.trace.mt", t * 1000 + i);
                     }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().expect("join recorder");
-        }
+                    gate.wait();
+                });
+            }
+        });
         let events = drain();
         let mine: Vec<_> = events
             .iter()
             .filter(|e| e.label == "test.trace.mt")
             .collect();
         assert_eq!(mine.len(), 400);
-        // Each recording thread got its own tid lane.
+        // Each concurrently-recording thread got its own tid lane.
         let tids: std::collections::BTreeSet<u64> = mine.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn exited_threads_return_rings_to_the_pool_for_reuse() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = drain();
+        let before = ring_count();
+        // Strictly sequential short-lived recorders: each one's lease is
+        // back in the pool before the next starts, so the registry must
+        // not grow per thread (the old behaviour leaked 384 KiB per
+        // exited thread, one fleet scrape-pass worker at a time).
+        for i in 0..8u64 {
+            std::thread::spawn(move || instant_event("test.trace.pool", i))
+                .join()
+                .expect("join recorder");
+        }
+        let after = ring_count();
+        assert!(
+            after <= before + 1,
+            "sequential threads must reuse pooled rings: {before} -> {after}"
+        );
+        let events = drain();
+        let mine = events
+            .iter()
+            .filter(|e| e.label == "test.trace.pool")
+            .count();
+        assert_eq!(mine, 8, "pooled rings lose no records");
     }
 }

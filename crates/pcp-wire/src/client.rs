@@ -17,7 +17,9 @@ use std::time::Duration;
 use pcp_sim::pmns::{InstanceId, MetricDesc, MetricId};
 use pcp_sim::{PcpError, PmApi};
 
-use crate::pdu::{read_pdu, write_pdu, ErrorCode, Pdu, WireError, PROTOCOL_VERSION};
+use crate::pdu::{
+    read_pdu, write_pdu, ErrorCode, Pdu, WireError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 use crate::server::{decode_direction, decode_semantics};
 
 /// Default per-call I/O timeout: long enough for a loaded loopback
@@ -60,10 +62,14 @@ impl WireClient {
         match client.call(&Pdu::Creds {
             version: PROTOCOL_VERSION,
         })? {
-            Pdu::CredsAck { version, client_id } if version == PROTOCOL_VERSION => Ok(WireClient {
-                client_id,
-                ..client
-            }),
+            Pdu::CredsAck { version, client_id }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                Ok(WireClient {
+                    client_id,
+                    ..client
+                })
+            }
             Pdu::CredsAck { version, .. } => Err(PcpError::Protocol(format!(
                 "server answered with unsupported version {version}"
             ))),
@@ -118,7 +124,17 @@ impl WireClient {
     /// Fetch the server's OpenMetrics text exposition over the PDU
     /// channel (the same document the HTTP scrape listener serves).
     pub fn scrape_exposition(&self) -> Result<String, PcpError> {
-        match self.call(&Pdu::Exposition)? {
+        self.scrape_exposition_traced(0)
+    }
+
+    /// Traced scrape: a non-zero `trace_id` rides the `Exposition`
+    /// frame (protocol v3) and is echoed as the arg of the server's
+    /// render span, so a fleet aggregator's per-host child id stitches
+    /// the client and server sides into one `obs::stitch::FanoutTrace`.
+    pub fn scrape_exposition_traced(&self, trace_id: u64) -> Result<String, PcpError> {
+        #[cfg(feature = "obs")]
+        let _span = (trace_id != 0).then(|| obs::span!(obs::stitch::CLIENT_SCRAPE_SPAN, trace_id));
+        match self.call(&Pdu::Exposition { trace_id })? {
             Pdu::ExpositionResult { text } => Ok(text),
             Pdu::Error { code, detail } => Err(server_error(code, detail)),
             other => Err(unexpected(&other)),

@@ -8,12 +8,18 @@
 //!
 //! The HTTP surface is deliberately tiny: one request per connection,
 //! `GET /metrics` (or `/`) answered with `200` and
-//! `application/openmetrics-text`, anything else with `404`, a
-//! malformed request line with `400`, always `Connection: close`.
-//! Backpressure reuses the same [`BoundedQueue`] discipline as the PDU
-//! server: accepted sockets queue for a small worker pool, and when the
-//! queue is full the connection is shed at the door with `503` (counted
-//! by `wire.scrape.shed`).
+//! `application/openmetrics-text`, unknown paths with `404`, non-GET
+//! methods with `405`, a malformed request line with `400`, always
+//! `Connection: close`. Backpressure reuses the same [`BoundedQueue`]
+//! discipline as the PDU server: accepted sockets queue for a small
+//! worker pool, and when the queue is full the connection is shed at
+//! the door with `503` (counted by `wire.scrape.shed`).
+//!
+//! [`ScrapeListener::bind_handler`] generalises the route table: a
+//! handler maps request-targets to [`HttpResponse`]s, which is how the
+//! fleet aggregator hangs its `/debug/*` diagnostics plane (DESIGN.md
+//! §16) off the same transport. Served `/debug/*` responses are
+//! tallied by `wire.debug.requests` / `wire.debug.bytes`.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,6 +39,48 @@ pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; cha
 /// [`PmcdServer`]'s renderer; the fleet aggregator passes its merged
 /// fleet document instead.
 pub type ExpositionProvider = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A route table: maps a request-target (path plus any `?query`) to a
+/// response, or `None` for 404. Handlers run on listener workers, so
+/// they must be cheap and must never block on locks held across I/O.
+pub type RequestHandler = Arc<dyn Fn(&str) -> Option<HttpResponse> + Send + Sync>;
+
+/// One response as produced by a [`RequestHandler`]; the listener owns
+/// status-line/header framing (byte-exact `Content-Length`,
+/// `Connection: close`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (`200`, `404`, ...).
+    pub status: u16,
+    /// Reason phrase on the status line.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            content_type,
+            body,
+        }
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: u16, reason: &'static str, body: String) -> Self {
+        HttpResponse {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
 
 /// Largest request head (request line + headers) read before answering;
 /// anything longer is malformed for this endpoint.
@@ -72,11 +120,27 @@ impl ScrapeListener {
 
     /// Bind serving an arbitrary exposition provider — the transport
     /// (accept loop, bounded queue, shed-at-the-door 503, HTTP framing)
-    /// without the PMCD coupling. The fleet tier serves its merged
-    /// document through this.
+    /// without the PMCD coupling, on the canonical `/metrics` + `/`
+    /// route table.
     pub fn bind_provider<A: ToSocketAddrs>(
         addr: A,
         provider: ExpositionProvider,
+        workers: usize,
+        pending: usize,
+    ) -> std::io::Result<Self> {
+        let handler: RequestHandler = Arc::new(move |target: &str| {
+            let path = target.split('?').next().unwrap_or(target);
+            (path == "/metrics" || path == "/").then(|| HttpResponse::ok(CONTENT_TYPE, provider()))
+        });
+        Self::bind_handler(addr, handler, workers, pending)
+    }
+
+    /// Bind serving an arbitrary route table. The fleet tier serves its
+    /// merged document *and* the `/debug/*` diagnostics plane through
+    /// one of these.
+    pub fn bind_handler<A: ToSocketAddrs>(
+        addr: A,
+        handler: RequestHandler,
         workers: usize,
         pending: usize,
     ) -> std::io::Result<Self> {
@@ -95,12 +159,12 @@ impl ScrapeListener {
             workers: Vec::with_capacity(workers),
         };
         for i in 0..workers {
-            let provider = Arc::clone(&provider);
+            let handler = Arc::clone(&handler);
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let handle = std::thread::Builder::new()
                 .name(format!("pmcd-scrape-{i}"))
-                .spawn(move || worker_loop(&provider, &queue, &shutdown));
+                .spawn(move || worker_loop(&handler, &queue, &shutdown));
             match handle {
                 Ok(h) => out.workers.push(h),
                 Err(e) => return Err(e),
@@ -169,14 +233,10 @@ fn shed(mut stream: TcpStream) {
         stream.write_all(response(503, "Service Unavailable", "scraper at capacity\n").as_bytes());
 }
 
-fn worker_loop(
-    provider: &ExpositionProvider,
-    queue: &BoundedQueue<TcpStream>,
-    shutdown: &AtomicBool,
-) {
+fn worker_loop(handler: &RequestHandler, queue: &BoundedQueue<TcpStream>, shutdown: &AtomicBool) {
     loop {
         match queue.pop_timeout(Duration::from_millis(50)) {
-            Pop::Item(stream) => serve_scrape(provider, stream),
+            Pop::Item(stream) => serve_scrape(handler, stream),
             Pop::TimedOut => {
                 if shutdown.load(Ordering::SeqCst) && queue.is_empty() {
                     return;
@@ -189,65 +249,119 @@ fn worker_loop(
 
 /// Read one request head and answer it. Never panics on client
 /// misbehaviour; every path ends with the connection closed.
-fn serve_scrape(provider: &ExpositionProvider, mut stream: TcpStream) {
+fn serve_scrape(handler: &RequestHandler, mut stream: TcpStream) {
     if stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
         || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
     {
         return;
     }
-    let reply = match read_request_path(&mut stream) {
-        Some(path) if path == "/metrics" || path == "/" => {
-            let body = provider();
-            response(200, "OK", &body)
-        }
-        Some(path) => response(404, "Not Found", &format!("no route {path}\n")),
-        None => response(400, "Bad Request", "malformed request\n"),
+    let reply = match read_request_line(&mut stream) {
+        RequestLine::Get(target) => match handler(&target) {
+            Some(r) => {
+                if target
+                    .split('?')
+                    .next()
+                    .unwrap_or("")
+                    .starts_with("/debug/")
+                {
+                    obs::counter!("wire.debug.requests").inc();
+                    obs::counter!("wire.debug.bytes").add(r.body.len() as u64);
+                }
+                frame(&r)
+            }
+            None => frame(&HttpResponse::text(
+                404,
+                "Not Found",
+                format!("no route {target}\n"),
+            )),
+        },
+        RequestLine::BadMethod(method) => frame(&HttpResponse::text(
+            405,
+            "Method Not Allowed",
+            format!("method {method} not allowed; this endpoint is GET-only\n"),
+        )),
+        RequestLine::Malformed => frame(&HttpResponse::text(
+            400,
+            "Bad Request",
+            "malformed request\n".into(),
+        )),
     };
     let _ = stream.write_all(reply.as_bytes());
 }
 
-/// Read up to the end of the request head and return the request-target
-/// of a well-formed `GET`; `None` for anything else.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// A classified HTTP request line.
+enum RequestLine {
+    /// A well-formed `GET <target> HTTP/1.x`.
+    Get(String),
+    /// A well-formed request line with a recognisable non-GET method
+    /// token — answered `405`, not `400`, so a probing client learns
+    /// the endpoint exists but is read-only.
+    BadMethod(String),
+    /// Anything else (truncated head, oversized head, not HTTP).
+    Malformed,
+}
+
+/// Read up to the end of the request head and classify the request
+/// line.
+fn read_request_line(stream: &mut TcpStream) -> RequestLine {
     let mut buf = Vec::with_capacity(256);
     let mut chunk = [0u8; 256];
     while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
         if buf.len() >= MAX_REQUEST_BYTES {
-            return None;
+            return RequestLine::Malformed;
         }
         match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return None,
+            Ok(0) | Err(_) => return RequestLine::Malformed,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
         }
     }
     let head = String::from_utf8_lossy(&buf);
-    let request_line = head.lines().next()?;
+    let Some(request_line) = head.lines().next() else {
+        return RequestLine::Malformed;
+    };
     let mut parts = request_line.split(' ');
     match (parts.next(), parts.next(), parts.next()) {
         (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/1.") => {
-            Some(path.to_owned())
+            RequestLine::Get(path.to_owned())
         }
-        _ => None,
+        (Some(method), Some(_), Some(version))
+            if version.starts_with("HTTP/1.")
+                && !method.is_empty()
+                && method.bytes().all(|b| b.is_ascii_uppercase()) =>
+        {
+            RequestLine::BadMethod(method.to_owned())
+        }
+        _ => RequestLine::Malformed,
     }
 }
 
-/// Assemble one `HTTP/1.1` response with the body and `Connection:
-/// close` (every exchange is single-shot).
-fn response(status: u16, reason: &str, body: &str) -> String {
-    let content_type = if status == 200 {
-        CONTENT_TYPE
-    } else {
-        "text/plain; charset=utf-8"
-    };
+/// Frame a response on the wire: status line, headers with a byte-exact
+/// `Content-Length`, and `Connection: close` (every exchange is
+/// single-shot).
+fn frame(r: &HttpResponse) -> String {
     format!(
-        "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: {content_type}\r\n\
+        "HTTP/1.1 {} {}\r\n\
+         Content-Type: {}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\
          \r\n\
-         {body}",
-        body.len()
+         {}",
+        r.status,
+        r.reason,
+        r.content_type,
+        r.body.len(),
+        r.body
     )
+}
+
+/// Assemble one `HTTP/1.1` response with the body and `Connection:
+/// close`; 200s carry the OpenMetrics content type.
+fn response(status: u16, reason: &'static str, body: &str) -> String {
+    if status == 200 {
+        frame(&HttpResponse::ok(CONTENT_TYPE, body.to_owned()))
+    } else {
+        frame(&HttpResponse::text(status, reason, body.to_owned()))
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +426,71 @@ mod tests {
         assert_eq!(status, 404);
         assert!(!body.contains("# EOF"));
         assert!(head.contains(&format!("Content-Length: {}", body.len())));
+    }
+
+    /// One-shot request with an arbitrary request line.
+    fn http_raw(addr: SocketAddr, request_line: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect scrape listener");
+        stream
+            .write_all(format!("{request_line}\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn non_get_methods_get_405_not_400() {
+        let provider: ExpositionProvider = Arc::new(|| "# EOF\n".to_string());
+        let listener =
+            ScrapeListener::bind_provider("127.0.0.1:0", provider, 1, 4).expect("bind provider");
+        let addr = listener.local_addr();
+
+        for method in ["POST", "PUT", "DELETE", "HEAD", "OPTIONS"] {
+            let (status, _, body) = http_raw(addr, &format!("{method} /metrics HTTP/1.1"));
+            assert_eq!(status, 405, "{method} must be rejected as a method");
+            assert!(body.contains(method), "{method} named in the 405 body");
+        }
+        // Garbage that isn't a plausible method token stays 400.
+        let (status, _, _) = http_raw(addr, "get /metrics HTTP/1.1");
+        assert_eq!(status, 400);
+        let (status, _, _) = http_raw(addr, "TOTALLY BOGUS");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn handler_routes_debug_endpoints_with_byte_exact_content_length() {
+        // A /debug body with multi-byte UTF-8: the advertised
+        // Content-Length must count bytes, or strict clients truncate.
+        let debug_body = "pass 1: stragg\u{00e9}r tellico-0007 \u{2014} 42 ns\n";
+        assert!(debug_body.len() > debug_body.chars().count());
+        let routed = debug_body.to_string();
+        let handler: RequestHandler = Arc::new(move |target: &str| match target {
+            "/metrics" => Some(HttpResponse::ok(CONTENT_TYPE, "# EOF\n".into())),
+            "/debug/passes" => Some(HttpResponse::text(200, "OK", routed.clone())),
+            _ => None,
+        });
+        let listener =
+            ScrapeListener::bind_handler("127.0.0.1:0", handler, 1, 4).expect("bind handler");
+        let addr = listener.local_addr();
+
+        let (status, head, body) = http_get(addr, "/debug/passes");
+        assert_eq!(status, 200);
+        assert_eq!(body, debug_body);
+        assert!(
+            head.contains(&format!("Content-Length: {}\r", debug_body.len())),
+            "byte-exact Content-Length missing from: {head}"
+        );
+
+        let (status, _, _) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let (status, _, _) = http_get(addr, "/debug/unknown");
+        assert_eq!(status, 404);
     }
 }

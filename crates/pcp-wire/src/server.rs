@@ -35,7 +35,9 @@ use p9_memsim::{Direction, PrivilegeError, PrivilegeToken};
 use pcp_sim::pmns::{InstanceId, MetricId, MetricSemantics, Pmns};
 use pcp_sim::selfmetrics::{self, LATENCY_BUCKETS};
 
-use crate::pdu::{read_pdu, write_pdu, ErrorCode, Pdu, WireError, PROTOCOL_VERSION};
+use crate::pdu::{
+    read_pdu, write_pdu, ErrorCode, Pdu, WireError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 use crate::pool::{BoundedQueue, Pop, PushError};
 
 /// Base of the reserved id range for the server's self-metrics. The PMNS
@@ -586,17 +588,20 @@ fn serve_client_inner(shared: &Shared, mut stream: TcpStream, client_id: u64) {
         // The CREDS exchange must come first and exactly once.
         let reply = if !handshaken {
             match pdu {
-                Pdu::Creds { version } if version == PROTOCOL_VERSION => {
+                Pdu::Creds { version }
+                    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+                {
                     handshaken = true;
-                    Pdu::CredsAck {
-                        version: PROTOCOL_VERSION,
-                        client_id,
-                    }
+                    // Echo the client's version: a v2 peer keeps
+                    // speaking v2 (v3 only adds an optional trailing
+                    // field, so no downgrade logic is needed).
+                    Pdu::CredsAck { version, client_id }
                 }
                 Pdu::Creds { version } => Pdu::Error {
                     code: ErrorCode::BadVersion,
                     detail: format!(
-                        "server speaks version {PROTOCOL_VERSION}, client sent {version}"
+                        "server speaks versions {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}, \
+                         client sent {version}"
                     ),
                 },
                 _ => Pdu::Error {
@@ -741,9 +746,20 @@ fn handle_request(shared: &Shared, pdu: Pdu) -> Pdu {
             shared.stats.record_fetch(start.elapsed());
             Pdu::FetchResult { values }
         }
-        Pdu::Exposition => Pdu::ExpositionResult {
-            text: exposition_text(shared, unix_ns()),
-        },
+        Pdu::Exposition { trace_id } => {
+            // Echo the scrape's fan-out child id as the render span's
+            // arg so an aggregator's FanoutTrace charges this host's
+            // server-side render time to the right slot (matched by
+            // arg, so per-host clock skew cannot break the stitch).
+            #[cfg(feature = "obs")]
+            let _render_span =
+                (trace_id != 0).then(|| obs::span!(obs::stitch::SERVER_SCRAPE_SPAN, trace_id));
+            #[cfg(not(feature = "obs"))]
+            let _ = trace_id;
+            Pdu::ExpositionResult {
+                text: exposition_text(shared, unix_ns()),
+            }
+        }
         // Anything else is a server-to-client PDU arriving backwards.
         other => Pdu::Error {
             code: ErrorCode::BadPdu,
